@@ -1,0 +1,63 @@
+//! Figure 11 — forkbench sensitivity sweep.
+//!
+//! Varies the number of bytes the child updates per page (evenly
+//! spread over cachelines) for both page sizes, reporting the speedup
+//! of Lelantus/Lelantus-CoW over the baseline (a/c) and their NVM
+//! writes as a fraction of the baseline (b/d). The paper's knee sits
+//! where updated bytes reach the line count of the page — beyond it
+//! every line is written anyway and the lazy copy saves only the
+//! read-side, converging toward ~1.1x.
+
+use lelantus_bench::{fmt_pct, fmt_x, print_table, run_workload, Scale};
+use lelantus_os::CowStrategy;
+use lelantus_types::PageSize;
+use lelantus_workloads::forkbench::Forkbench;
+
+fn sweep_points(page: PageSize) -> Vec<u64> {
+    match page {
+        PageSize::Regular4K => vec![1, 8, 32, 64, 256, 1024, 4096],
+        PageSize::Huge2M => {
+            vec![1, 64, 1024, 32 << 10, 128 << 10, 512 << 10, 2 << 20]
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    for page in [PageSize::Regular4K, PageSize::Huge2M] {
+        let mut rows = Vec::new();
+        for bytes in sweep_points(page) {
+            let wl = Forkbench {
+                total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
+                bytes_per_page: Some(bytes),
+            };
+            let base = run_workload(&wl, CowStrategy::Baseline, page);
+            let lel = run_workload(&wl, CowStrategy::Lelantus, page);
+            let cow = run_workload(&wl, CowStrategy::LelantusCow, page);
+            rows.push(vec![
+                bytes.to_string(),
+                fmt_x(lel.measured.speedup_vs(&base.measured)),
+                fmt_x(cow.measured.speedup_vs(&base.measured)),
+                fmt_pct(lel.measured.write_fraction_vs(&base.measured)),
+                fmt_pct(cow.measured.write_fraction_vs(&base.measured)),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11 ({page} pages): forkbench sweep over updated bytes/page"),
+            &[
+                "bytes/page",
+                "speedup Lelantus",
+                "speedup L-CoW",
+                "writes Lelantus",
+                "writes L-CoW",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\npaper (Fig 11): 3.33x (4KB) and 67.53x (2MB) when one byte is updated,\n\
+         decaying to ~1.11x/1.10x at whole-page updates; writes drop to\n\
+         53.45%-14.14% (4KB) and 50.76%-0.20% (2MB); knee at 64 bytes (4KB)\n\
+         and 32KB (2MB) where every cacheline becomes dirty."
+    );
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the cryptographic substrate:
+//! AES block encryption, 64-byte line CTR encryption, SipHash tags,
+//! and Merkle-tree verify/update walks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lelantus_crypto::ctr::{CtrEngine, IvSpec};
+use lelantus_crypto::{Aes128, MerkleTree, SipHash24};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new([7; 16]);
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box([0x42; 16])))
+    });
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let engine = CtrEngine::new([9; 16]);
+    let iv = IvSpec { line_addr: 0x1000, major: 5, minor: 3 };
+    let line = [0xAB; 64];
+    c.bench_function("ctr_encrypt_line_64B", |b| {
+        b.iter(|| engine.encrypt_line(black_box(&line), black_box(iv)))
+    });
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let mac = SipHash24::new(1, 2);
+    let data = [0x5A; 64];
+    c.bench_function("siphash24_64B", |b| b.iter(|| mac.hash(black_box(&data))));
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut tree = MerkleTree::new(65536, (1, 2), 512);
+    let data = [0x33u8; 64];
+    c.bench_function("merkle_update_leaf", |b| {
+        let mut leaf = 0usize;
+        b.iter(|| {
+            leaf = (leaf + 97) % 65536;
+            tree.update_leaf(black_box(leaf), black_box(&data))
+        })
+    });
+    let mut tree = MerkleTree::new(65536, (1, 2), 512);
+    tree.update_leaf(1234, &data);
+    c.bench_function("merkle_verify_leaf_cached", |b| {
+        b.iter(|| tree.verify_leaf(black_box(1234), black_box(&data)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_aes, bench_ctr, bench_siphash, bench_merkle);
+criterion_main!(benches);

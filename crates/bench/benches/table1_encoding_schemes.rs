@@ -1,0 +1,75 @@
+//! Table I — comparison of the two CoW encoding schemes.
+//!
+//! Three columns, reproduced three ways:
+//!
+//! * **Minor-counter overflow**: measured by hammering CoW pages under
+//!   both encodings (the resized layout's 6-bit minors overflow ~2×
+//!   as often as classic 7-bit minors — the paper states the relative
+//!   rate as 200 % vs 0.07 %-absolute under its workloads).
+//! * **Space overhead**: analytic, from the metadata layout (the
+//!   supplementary table costs 8 B per 4 KB region ≈ 0.02 %).
+//! * **Extra RW traffic**: measured CoW-metadata line reads/writes as
+//!   a share of all NVM traffic (none for the resized layout — the
+//!   source address rides inside the counter block).
+
+use lelantus_bench::{print_table, run_workload, Scale};
+use lelantus_metadata::MetadataLayout;
+use lelantus_os::CowStrategy;
+use lelantus_types::PageSize;
+use lelantus_workloads::forkbench::Forkbench;
+use lelantus_workloads::hotspot::Hotspot;
+
+fn main() {
+    let scale = Scale::from_env();
+    let wl = Forkbench { total_bytes: scale.alloc_bytes(), bytes_per_page: Some(4096) };
+
+    // Overflow rates under a hotspot accumulator (non-temporal stores
+    // hammering a few lines — ordinary traffic updates a line far fewer
+    // than 60 times and never overflows, §V-C).
+    let stress = Hotspot::default();
+    let lel_ovf = run_workload(&stress, CowStrategy::Lelantus, PageSize::Regular4K)
+        .measured
+        .controller
+        .overflow_rate();
+    let cow_ovf = run_workload(&stress, CowStrategy::LelantusCow, PageSize::Regular4K)
+        .measured
+        .controller
+        .overflow_rate();
+
+    let cow = run_workload(&wl, CowStrategy::LelantusCow, PageSize::Regular4K);
+
+    // Space overhead, analytic.
+    let layout = MetadataLayout::for_data_bytes(1 << 30);
+    let cow_space = (layout.regions() * 8) as f64 / layout.data_bytes as f64;
+
+    // Extra RW traffic: CoW-metadata line accesses per NVM access.
+    let cow_total =
+        (cow.measured.nvm.line_reads + cow.measured.nvm.line_writes).max(1) as f64;
+    let cow_extra = (cow.measured.controller.cow_meta_reads
+        + cow.measured.controller.cow_meta_writes) as f64
+        / cow_total;
+
+    let rows = vec![
+        vec![
+            "Resizing Counter Blocks (Lelantus)".into(),
+            format!("{:.5}% ({}x classic)", lel_ovf * 100.0, if cow_ovf > 0.0 { format!("{:.1}", lel_ovf / cow_ovf) } else { "n/a".into() }),
+            "none (in-band)".into(),
+            "low (counter block only)".into(),
+        ],
+        vec![
+            "Supplementary CoW Metadata (Lelantus-CoW)".into(),
+            format!("{:.5}%", cow_ovf * 100.0),
+            format!("{:.3}% (8B / 4KB region)", cow_space * 100.0),
+            format!("medium ({:.3}% of NVM accesses)", cow_extra * 100.0),
+        ],
+    ];
+    print_table(
+        "Table I: comparison of the two CoW encoding schemes",
+        &["encoding scheme", "minor counter overflow", "space overhead", "extra RW traffic"],
+        &rows,
+    );
+    println!(
+        "\npaper (Table I): resizing = 200% relative overflow, no space, low traffic;\n\
+         supplementary = 0.07% overflow, 0.02% space, medium traffic."
+    );
+}

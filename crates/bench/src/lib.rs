@@ -1,0 +1,164 @@
+//! Shared harness code for the experiment bench targets.
+//!
+//! Every table and figure of the paper's evaluation has a bench target
+//! in `benches/` (run them with `cargo bench -p lelantus-bench`). They
+//! print the same rows/series the paper reports; `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+//!
+//! Experiments honour the `LELANTUS_SCALE` environment variable:
+//! `small` (quick sanity run), `medium` (default — shape-faithful at a
+//! fraction of the cost) or `paper` (the paper's workload sizes).
+
+use lelantus_os::CowStrategy;
+use lelantus_sim::{SimConfig, System};
+use lelantus_types::PageSize;
+use lelantus_workloads::{
+    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, mariadbwl::Mariadb,
+    noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
+};
+
+/// Experiment size, selected via `LELANTUS_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity run.
+    Small,
+    /// Default: shape-faithful, minutes-long.
+    Medium,
+    /// The paper's workload sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `LELANTUS_SCALE` (default [`Scale::Medium`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("LELANTUS_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Medium,
+        }
+    }
+
+    /// Forkbench / non-copy allocation size at this scale.
+    pub fn alloc_bytes(self) -> u64 {
+        match self {
+            Scale::Small => 2 << 20,
+            Scale::Medium => 4 << 20,
+            Scale::Paper => 16 << 20,
+        }
+    }
+}
+
+/// Builds the Fig 9 workload list (six applications + non-copy) at
+/// `scale`.
+pub fn fig9_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Small => vec![
+            Box::new(Boot::small()),
+            Box::new(Compile::small()),
+            Box::new(Forkbench { total_bytes: scale.alloc_bytes(), bytes_per_page: None }),
+            Box::new(Redis::small()),
+            Box::new(Mariadb::small()),
+            Box::new(Shell::small()),
+            Box::new(NonCopy { total_bytes: scale.alloc_bytes() }),
+        ],
+        Scale::Medium => vec![
+            Box::new(Boot { services: 16, shared_bytes: 1 << 20, service_heap_bytes: 128 << 10, ..Boot::default() }),
+            Box::new(Compile { heap_bytes: 6 << 20, rewrite_ops: 12_000, ..Compile::default() }),
+            Box::new(Forkbench { total_bytes: scale.alloc_bytes(), bytes_per_page: None }),
+            Box::new(Redis { pairs: 20_000, operations: 4_000, ..Redis::default() }),
+            Box::new(Mariadb { buffer_pool_bytes: 4 << 20, index_bytes: 1 << 20, rows: 24_000, ..Mariadb::default() }),
+            Box::new(Shell { directories: 24, ..Shell::default() }),
+            Box::new(NonCopy { total_bytes: scale.alloc_bytes() }),
+        ],
+        Scale::Paper => vec![
+            Box::new(Boot::default()),
+            Box::new(Compile::default()),
+            Box::new(Forkbench::default()),
+            Box::new(Redis::default()),
+            Box::new(Mariadb::default()),
+            Box::new(Shell::default()),
+            Box::new(NonCopy { total_bytes: scale.alloc_bytes() }),
+        ],
+    }
+}
+
+/// Runs `workload` on a fresh system with the given scheme and page
+/// size, using the paper's default configuration.
+pub fn run_workload(
+    workload: &dyn Workload,
+    strategy: CowStrategy,
+    page: PageSize,
+) -> WorkloadRun {
+    let mut sys = System::new(SimConfig::new(strategy, page));
+    workload.run(&mut sys).unwrap_or_else(|e| panic!("{}: {e}", workload.name()))
+}
+
+/// Runs `workload` on a custom configuration.
+pub fn run_workload_with(workload: &dyn Workload, config: SimConfig) -> WorkloadRun {
+    let mut sys = System::new(config);
+    workload.run(&mut sys).unwrap_or_else(|e| panic!("{}: {e}", workload.name()))
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_default_is_medium() {
+        // (Environment not set in the test harness.)
+        if std::env::var("LELANTUS_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Medium);
+        }
+    }
+
+    #[test]
+    fn fig9_suites_have_seven_entries() {
+        for scale in [Scale::Small, Scale::Medium, Scale::Paper] {
+            let suite = fig9_workloads(scale);
+            assert_eq!(suite.len(), 7);
+            assert_eq!(suite[2].name(), "forkbench");
+            assert_eq!(suite[6].name(), "non-copy");
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(2.345), "2.35x");
+        assert_eq!(fmt_pct(0.4215), "42.15%");
+    }
+}

@@ -1,0 +1,53 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines evicted (write-back traffic).
+    pub dirty_evictions: u64,
+    /// Lines invalidated by explicit invalidate operations.
+    pub invalidations: u64,
+    /// Dirty lines written back by explicit flush operations.
+    pub flush_writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1] (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics for all three levels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L3 counters.
+    pub l3: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate() {
+        let s = CacheStats { hits: 9, misses: 1, ..Default::default() };
+        assert!((s.miss_rate() - 0.1).abs() < 1e-9);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

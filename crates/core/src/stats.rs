@@ -1,0 +1,147 @@
+//! Controller statistics.
+//!
+//! These counters feed every results table and figure: logical versus
+//! physical writes (Figs 2, 9, 11), counter-overflow rates (Fig 10a),
+//! CoW-cache miss rates (Fig 10b), and the command mix (Table V's
+//! copy/initialization traffic share).
+
+use serde::{Deserialize, Serialize};
+
+/// Event counters maintained by the secure memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Line reads requested by the cache hierarchy / copy engine.
+    pub logical_reads: u64,
+    /// Line writes requested by the cache hierarchy / copy engine.
+    pub logical_writes: u64,
+    /// Reads satisfied with zeros (zero area or Silent Shredder state)
+    /// without touching NVM data.
+    pub zero_reads: u64,
+    /// Reads redirected to a CoW source page (paper §III-C).
+    pub redirected_reads: u64,
+    /// First writes to uncopied CoW lines — copies completed implicitly.
+    pub implicit_copies: u64,
+    /// Counter blocks fetched from NVM (counter-cache misses).
+    pub counter_fetches: u64,
+    /// Counter blocks written to NVM (evictions / write-through).
+    pub counter_writebacks: u64,
+    /// Merkle-tree nodes fetched during counter verification.
+    pub merkle_fetches: u64,
+    /// CoW-metadata table lines read from NVM (Lelantus-CoW misses).
+    pub cow_meta_reads: u64,
+    /// CoW-metadata table lines written to NVM (Lelantus-CoW updates).
+    pub cow_meta_writes: u64,
+    /// Minor-counter increments performed.
+    pub minor_increments: u64,
+    /// Minor-counter overflows (region re-encryptions).
+    pub minor_overflows: u64,
+    /// Lines re-encrypted by overflow handling.
+    pub reencrypted_lines: u64,
+    /// `page_copy` commands accepted.
+    pub cmd_page_copy: u64,
+    /// `page_phyc` commands accepted.
+    pub cmd_page_phyc: u64,
+    /// `page_phyc` commands rejected by the source re-check (§III-D).
+    pub cmd_page_phyc_rejected: u64,
+    /// `page_free` commands accepted.
+    pub cmd_page_free: u64,
+    /// `page_init` commands (Silent Shredder).
+    pub cmd_page_init: u64,
+    /// Lines physically copied by `page_phyc` materialization.
+    pub materialized_lines: u64,
+    /// Lines copied by the baseline bulk-copy engine.
+    pub bulk_copied_lines: u64,
+    /// Lines zeroed by the baseline bulk-zero engine.
+    pub bulk_zeroed_lines: u64,
+    /// Data-MAC lines fetched from NVM (MAC-cache misses).
+    pub mac_fetches: u64,
+    /// Data-MAC lines written back to NVM.
+    pub mac_writebacks: u64,
+    /// Data-MAC verifications performed.
+    pub mac_verifications: u64,
+}
+
+impl ControllerStats {
+    /// Minor-counter overflow rate: overflows per increment (Fig 10a).
+    pub fn overflow_rate(&self) -> f64 {
+        if self.minor_increments == 0 {
+            0.0
+        } else {
+            self.minor_overflows as f64 / self.minor_increments as f64
+        }
+    }
+
+    /// Fraction of reads that were redirected to a source page.
+    pub fn redirect_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.redirected_reads as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Component-wise difference (`self - earlier`) for interval
+    /// measurement.
+    pub fn delta_since(&self, earlier: &ControllerStats) -> ControllerStats {
+        macro_rules! sub {
+            ($($f:ident),+ $(,)?) => {
+                ControllerStats { $($f: self.$f - earlier.$f),+ }
+            };
+        }
+        sub!(
+            logical_reads,
+            logical_writes,
+            zero_reads,
+            redirected_reads,
+            implicit_copies,
+            counter_fetches,
+            counter_writebacks,
+            merkle_fetches,
+            cow_meta_reads,
+            cow_meta_writes,
+            minor_increments,
+            minor_overflows,
+            reencrypted_lines,
+            cmd_page_copy,
+            cmd_page_phyc,
+            cmd_page_phyc_rejected,
+            cmd_page_free,
+            cmd_page_init,
+            materialized_lines,
+            bulk_copied_lines,
+            bulk_zeroed_lines,
+            mac_fetches,
+            mac_writebacks,
+            mac_verifications,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = ControllerStats {
+            minor_increments: 1000,
+            minor_overflows: 1,
+            logical_reads: 10,
+            redirected_reads: 4,
+            ..Default::default()
+        };
+        assert!((s.overflow_rate() - 0.001).abs() < 1e-12);
+        assert!((s.redirect_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(ControllerStats::default().overflow_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let a = ControllerStats { logical_writes: 5, cmd_page_copy: 2, ..Default::default() };
+        let b = ControllerStats { logical_writes: 12, cmd_page_copy: 3, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.logical_writes, 7);
+        assert_eq!(d.cmd_page_copy, 1);
+        assert_eq!(d.zero_reads, 0);
+    }
+}

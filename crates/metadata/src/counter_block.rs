@@ -1,0 +1,477 @@
+//! Bit-exact counter-block encodings.
+//!
+//! A counter block is always 64 bytes (512 bits) and covers one 4 KB
+//! region (64 cachelines). Two layouts exist:
+//!
+//! * **Classic** (paper Figure 3/5; used by the baseline, Silent
+//!   Shredder, and Lelantus-CoW): `major:64 ‖ minor[0..64]:7 each` —
+//!   exactly 512 bits.
+//! * **Resized** (paper Figure 4; Lelantus Solution 1): a 1-bit
+//!   `CoW_Flag` selects between
+//!   `flag=0 ‖ major:63 ‖ minor[0..64]:7 each` (regular page) and
+//!   `flag=1 ‖ major:63 ‖ minor[0..64]:6 each ‖ src_addr:64` (CoW
+//!   page) — both exactly 512 bits.
+//!
+//! Minor value **0 is reserved** on CoW pages to mean "this line has
+//! not been copied yet"; the first write moves it to 1, which is how a
+//! copy completes implicitly (paper §III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of minor counters (lines) per counter block.
+pub const MINORS: usize = 64;
+
+/// Which wire format a counter block is serialized with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterEncoding {
+    /// 64-bit major, 7-bit minors, no CoW fields (baseline /
+    /// Silent Shredder / Lelantus-CoW).
+    Classic,
+    /// 1-bit flag picks regular (63/7) or CoW (63/6 + source address)
+    /// layout (Lelantus Solution 1).
+    Resized,
+}
+
+impl CounterEncoding {
+    /// Largest minor-counter value representable for a page of the
+    /// given kind under this encoding.
+    pub fn minor_max(self, is_cow: bool) -> u8 {
+        match (self, is_cow) {
+            (CounterEncoding::Classic, _) => 127,
+            (CounterEncoding::Resized, false) => 127,
+            (CounterEncoding::Resized, true) => 63,
+        }
+    }
+
+    /// Largest major-counter value representable.
+    pub fn major_max(self) -> u64 {
+        match self {
+            CounterEncoding::Classic => u64::MAX,
+            CounterEncoding::Resized => (1u64 << 63) - 1,
+        }
+    }
+}
+
+/// Error: a minor counter reached its ceiling and the region must be
+/// re-encrypted under a bumped major counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinorOverflow {
+    /// The line whose minor counter overflowed.
+    pub line: usize,
+}
+
+impl std::fmt::Display for MinorOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "minor counter overflow on line {}", self.line)
+    }
+}
+
+impl std::error::Error for MinorOverflow {}
+
+/// A decoded counter block.
+///
+/// `cow_src` is `Some(region)` when the block describes a CoW page
+/// copied from `region` (a 4 KB-region index). Under the
+/// [`CounterEncoding::Classic`] wire format that field cannot be
+/// serialized — Solution 2 stores it in the supplementary table
+/// ([`crate::cow_meta`]) instead, and [`CounterBlock::encode`] will
+/// panic if asked to serialize a CoW block classically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterBlock {
+    /// Region-shared major counter.
+    pub major: u64,
+    /// Per-line minor counters (semantically 6- or 7-bit).
+    #[serde(with = "serde_minors")]
+    pub minors: [u8; MINORS],
+    /// Source region index when this covers a CoW page (Solution 1
+    /// keeps it in-band; Solution 2 keeps it out-of-band but mirrors it
+    /// here in the decoded view for uniform handling).
+    pub cow_src: Option<u64>,
+}
+
+mod serde_minors {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        v.try_into().map_err(|_| serde::de::Error::custom("expected 64 minors"))
+    }
+}
+
+impl Default for CounterBlock {
+    fn default() -> Self {
+        Self::fresh_regular(1)
+    }
+}
+
+impl CounterBlock {
+    /// A regular-page block with every minor set to `minor_init`
+    /// (use 1 to keep 0 reserved for the CoW marker) and major 1.
+    pub fn fresh_regular(minor_init: u8) -> Self {
+        Self { major: 1, minors: [minor_init; MINORS], cow_src: None }
+    }
+
+    /// A CoW-page block: all minors zero (nothing copied yet), source
+    /// region recorded.
+    pub fn fresh_cow(src_region: u64) -> Self {
+        Self { major: 1, minors: [0; MINORS], cow_src: Some(src_region) }
+    }
+
+    /// Whether the block currently describes a CoW page.
+    pub fn is_cow(&self) -> bool {
+        self.cow_src.is_some()
+    }
+
+    /// Source region index for a CoW page.
+    pub fn cow_source(&self) -> Option<u64> {
+        self.cow_src
+    }
+
+    /// True when line `line` of a CoW page has not been copied yet
+    /// (reserved minor value 0). Always false on regular pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn is_line_uncopied(&self, line: usize) -> bool {
+        assert!(line < MINORS, "line index out of range");
+        self.is_cow() && self.minors[line] == 0
+    }
+
+    /// Number of lines still uncopied (0 on regular pages).
+    pub fn uncopied_lines(&self) -> usize {
+        if self.is_cow() {
+            self.minors.iter().filter(|&&m| m == 0).count()
+        } else {
+            0
+        }
+    }
+
+    /// Increments the minor counter of `line` for a write under
+    /// `encoding`, reporting overflow when the ceiling is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinorOverflow`] when the minor counter cannot be
+    /// incremented further; the caller must re-encrypt the region with
+    /// a bumped major counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn increment_minor(
+        &mut self,
+        line: usize,
+        encoding: CounterEncoding,
+    ) -> Result<u8, MinorOverflow> {
+        assert!(line < MINORS, "line index out of range");
+        let max = encoding.minor_max(self.is_cow());
+        if self.minors[line] >= max {
+            return Err(MinorOverflow { line });
+        }
+        self.minors[line] += 1;
+        Ok(self.minors[line])
+    }
+
+    /// Converts a CoW block into a regular block after all its lines
+    /// have been physically materialized: the major advances (fresh
+    /// encryption epoch) and every minor restarts at 1.
+    pub fn materialize_to_regular(&mut self) {
+        self.major += 1;
+        self.minors = [1; MINORS];
+        self.cow_src = None;
+    }
+
+    /// Resets after a region re-encryption: bump major, minors to 1.
+    pub fn reencrypt_epoch(&mut self) {
+        self.major += 1;
+        let is_cow = self.is_cow();
+        for m in &mut self.minors {
+            // Uncopied CoW lines keep their reserved 0 marker.
+            if *m != 0 || !is_cow {
+                *m = 1;
+            }
+        }
+    }
+
+    /// Serializes to the 64-byte wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not representable: a CoW block under
+    /// [`CounterEncoding::Classic`], a minor or major exceeding the
+    /// encoding's ceiling.
+    pub fn encode(&self, encoding: CounterEncoding) -> [u8; 64] {
+        let mut buf = [0u8; 64];
+        match encoding {
+            CounterEncoding::Classic => {
+                assert!(
+                    !self.is_cow(),
+                    "classic encoding has no in-band CoW fields (use the supplementary table)"
+                );
+                write_bits(&mut buf, 0, 64, self.major);
+                for (i, &m) in self.minors.iter().enumerate() {
+                    assert!(m <= 127, "classic minor is 7-bit");
+                    write_bits(&mut buf, 64 + 7 * i, 7, m as u64);
+                }
+            }
+            CounterEncoding::Resized => {
+                assert!(self.major <= encoding.major_max(), "resized major is 63-bit");
+                match self.cow_src {
+                    None => {
+                        write_bits(&mut buf, 0, 1, 0);
+                        write_bits(&mut buf, 1, 63, self.major);
+                        for (i, &m) in self.minors.iter().enumerate() {
+                            assert!(m <= 127, "regular minor is 7-bit");
+                            write_bits(&mut buf, 64 + 7 * i, 7, m as u64);
+                        }
+                    }
+                    Some(src) => {
+                        write_bits(&mut buf, 0, 1, 1);
+                        write_bits(&mut buf, 1, 63, self.major);
+                        for (i, &m) in self.minors.iter().enumerate() {
+                            assert!(m <= 63, "CoW minor is 6-bit");
+                            write_bits(&mut buf, 64 + 6 * i, 6, m as u64);
+                        }
+                        write_bits(&mut buf, 64 + 6 * MINORS, 64, src);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes from the 64-byte wire format.
+    pub fn decode(bytes: &[u8; 64], encoding: CounterEncoding) -> Self {
+        match encoding {
+            CounterEncoding::Classic => {
+                let major = read_bits(bytes, 0, 64);
+                let mut minors = [0u8; MINORS];
+                for (i, m) in minors.iter_mut().enumerate() {
+                    *m = read_bits(bytes, 64 + 7 * i, 7) as u8;
+                }
+                Self { major, minors, cow_src: None }
+            }
+            CounterEncoding::Resized => {
+                let flag = read_bits(bytes, 0, 1);
+                let major = read_bits(bytes, 1, 63);
+                if flag == 0 {
+                    let mut minors = [0u8; MINORS];
+                    for (i, m) in minors.iter_mut().enumerate() {
+                        *m = read_bits(bytes, 64 + 7 * i, 7) as u8;
+                    }
+                    Self { major, minors, cow_src: None }
+                } else {
+                    let mut minors = [0u8; MINORS];
+                    for (i, m) in minors.iter_mut().enumerate() {
+                        *m = read_bits(bytes, 64 + 6 * i, 6) as u8;
+                    }
+                    let src = read_bits(bytes, 64 + 6 * MINORS, 64);
+                    Self { major, minors, cow_src: Some(src) }
+                }
+            }
+        }
+    }
+}
+
+/// Reads `len` (≤ 64) bits starting at absolute bit `start` (LSB-first
+/// within each byte).
+fn read_bits(buf: &[u8; 64], start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 64 && start + len <= 512);
+    let mut out = 0u64;
+    for i in 0..len {
+        let bit = start + i;
+        let byte = bit / 8;
+        let off = bit % 8;
+        if buf[byte] >> off & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Writes `len` (≤ 64) bits of `val` starting at absolute bit `start`.
+fn write_bits(buf: &mut [u8; 64], start: usize, len: usize, val: u64) {
+    debug_assert!(len <= 64 && start + len <= 512);
+    debug_assert!(len == 64 || val < (1u64 << len), "value does not fit field");
+    for i in 0..len {
+        let bit = start + i;
+        let byte = bit / 8;
+        let off = bit % 8;
+        if val >> i & 1 == 1 {
+            buf[byte] |= 1 << off;
+        } else {
+            buf[byte] &= !(1 << off);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_roundtrip() {
+        let mut b = CounterBlock::fresh_regular(1);
+        b.major = 0xDEAD_BEEF_CAFE_F00D;
+        b.minors[0] = 127;
+        b.minors[63] = 99;
+        let bytes = b.encode(CounterEncoding::Classic);
+        assert_eq!(CounterBlock::decode(&bytes, CounterEncoding::Classic), b);
+    }
+
+    #[test]
+    fn resized_regular_roundtrip() {
+        let mut b = CounterBlock::fresh_regular(3);
+        b.major = (1 << 63) - 1;
+        b.minors[17] = 127;
+        let bytes = b.encode(CounterEncoding::Resized);
+        let back = CounterBlock::decode(&bytes, CounterEncoding::Resized);
+        assert_eq!(back, b);
+        assert!(!back.is_cow());
+    }
+
+    #[test]
+    fn resized_cow_roundtrip() {
+        let mut b = CounterBlock::fresh_cow(0x0123_4567_89AB_CDEF);
+        b.minors[5] = 63;
+        b.major = 42;
+        let bytes = b.encode(CounterEncoding::Resized);
+        let back = CounterBlock::decode(&bytes, CounterEncoding::Resized);
+        assert_eq!(back, b);
+        assert_eq!(back.cow_source(), Some(0x0123_4567_89AB_CDEF));
+        assert!(back.is_line_uncopied(4));
+        assert!(!back.is_line_uncopied(5));
+    }
+
+    #[test]
+    fn layouts_occupy_full_block() {
+        // The flag bit flips the interpretation of every other field:
+        // a CoW block and a regular block with identical counters must
+        // serialize differently.
+        let cow = CounterBlock::fresh_cow(9).encode(CounterEncoding::Resized);
+        let reg = CounterBlock::fresh_regular(0).encode(CounterEncoding::Resized);
+        assert_ne!(cow, reg);
+        assert_eq!(cow[0] & 1, 1, "CoW flag is bit 0");
+        assert_eq!(reg[0] & 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "classic encoding has no in-band CoW fields")]
+    fn classic_cannot_encode_cow() {
+        CounterBlock::fresh_cow(1).encode(CounterEncoding::Classic);
+    }
+
+    #[test]
+    #[should_panic(expected = "CoW minor is 6-bit")]
+    fn resized_cow_minor_ceiling_enforced() {
+        let mut b = CounterBlock::fresh_cow(1);
+        b.minors[0] = 64;
+        b.encode(CounterEncoding::Resized);
+    }
+
+    #[test]
+    fn increment_and_overflow() {
+        let mut b = CounterBlock::fresh_cow(1);
+        for expected in 1..=63u8 {
+            assert_eq!(b.increment_minor(7, CounterEncoding::Resized), Ok(expected));
+        }
+        assert_eq!(
+            b.increment_minor(7, CounterEncoding::Resized),
+            Err(MinorOverflow { line: 7 })
+        );
+        // Classic minors go to 127.
+        let mut r = CounterBlock::fresh_regular(1);
+        for _ in 0..126 {
+            r.increment_minor(0, CounterEncoding::Classic).unwrap();
+        }
+        assert!(r.increment_minor(0, CounterEncoding::Classic).is_err());
+    }
+
+    #[test]
+    fn materialize_clears_cow_state() {
+        let mut b = CounterBlock::fresh_cow(5);
+        b.minors[3] = 2;
+        b.materialize_to_regular();
+        assert!(!b.is_cow());
+        assert_eq!(b.major, 2);
+        assert_eq!(b.minors, [1; MINORS]);
+        assert_eq!(b.uncopied_lines(), 0);
+    }
+
+    #[test]
+    fn reencrypt_preserves_uncopied_markers() {
+        let mut b = CounterBlock::fresh_cow(5);
+        b.minors[0] = 63;
+        b.minors[1] = 10;
+        b.reencrypt_epoch();
+        assert_eq!(b.major, 2);
+        assert_eq!(b.minors[0], 1);
+        assert_eq!(b.minors[1], 1);
+        assert_eq!(b.minors[2], 0, "uncopied marker must survive re-encryption");
+        assert!(b.is_line_uncopied(2));
+    }
+
+    #[test]
+    fn uncopied_count() {
+        let mut b = CounterBlock::fresh_cow(1);
+        assert_eq!(b.uncopied_lines(), 64);
+        b.minors[0] = 1;
+        b.minors[1] = 1;
+        assert_eq!(b.uncopied_lines(), 62);
+        assert_eq!(CounterBlock::fresh_regular(0).uncopied_lines(), 0);
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let mut buf = [0u8; 64];
+        write_bits(&mut buf, 3, 13, 0x1ABC & 0x1FFF);
+        assert_eq!(read_bits(&buf, 3, 13), 0x1ABC & 0x1FFF);
+        write_bits(&mut buf, 448, 64, u64::MAX);
+        assert_eq!(read_bits(&buf, 448, 64), u64::MAX);
+        // Overwrite with zeros clears.
+        write_bits(&mut buf, 448, 64, 0);
+        assert_eq!(read_bits(&buf, 448, 64), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_classic_roundtrip(major in any::<u64>(),
+                                  minors in prop::array::uniform32(0u8..=127)) {
+            let mut b = CounterBlock::fresh_regular(0);
+            b.major = major;
+            for (i, m) in minors.iter().enumerate() {
+                b.minors[i * 2] = *m;
+            }
+            let bytes = b.encode(CounterEncoding::Classic);
+            prop_assert_eq!(CounterBlock::decode(&bytes, CounterEncoding::Classic), b);
+        }
+
+        #[test]
+        fn prop_resized_cow_roundtrip(major in 0u64..(1 << 63),
+                                      src in any::<u64>(),
+                                      minors in prop::array::uniform32(0u8..=63)) {
+            let mut b = CounterBlock::fresh_cow(src);
+            b.major = major;
+            for (i, m) in minors.iter().enumerate() {
+                b.minors[i * 2 + 1] = *m;
+            }
+            let bytes = b.encode(CounterEncoding::Resized);
+            prop_assert_eq!(CounterBlock::decode(&bytes, CounterEncoding::Resized), b);
+        }
+
+        #[test]
+        fn prop_bits_roundtrip(start in 0usize..448, len in 1usize..=64, val in any::<u64>()) {
+            prop_assume!(start + len <= 512);
+            let masked = if len == 64 { val } else { val & ((1u64 << len) - 1) };
+            let mut buf = [0xA5u8; 64];
+            write_bits(&mut buf, start, len, masked);
+            prop_assert_eq!(read_bits(&buf, start, len), masked);
+        }
+    }
+}

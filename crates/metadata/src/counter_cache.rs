@@ -1,0 +1,361 @@
+//! The on-chip counter cache.
+//!
+//! Table III: 256 KB, 16-way, LRU, 64-byte blocks — 4096 counter
+//! blocks. The paper's §V-E compares a battery-backed *write-back*
+//! management scheme (default) against *write-through* (every counter
+//! update is immediately flushed to NVM); Figure 12 measures the
+//! difference. The cache stores decoded [`CounterBlock`]s keyed by
+//! region index; the memory controller handles (de)serialization when
+//! blocks move to or from NVM.
+
+use crate::counter_block::CounterBlock;
+use serde::{Deserialize, Serialize};
+
+/// Counter-cache write management (paper §V-E, Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Updates complete in the cache; NVM is written on eviction
+    /// (battery-backed, the paper's default).
+    WriteBack,
+    /// Every update is immediately propagated to NVM.
+    WriteThrough,
+}
+
+/// Counter-cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCacheConfig {
+    /// Capacity in counter blocks (entries).
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Write management policy.
+    pub policy: WritePolicy,
+}
+
+impl Default for CounterCacheConfig {
+    fn default() -> Self {
+        // 256 KB of 64 B blocks, 16-way (Table III).
+        Self { entries: 4096, ways: 16, policy: WritePolicy::WriteBack }
+    }
+}
+
+impl CounterCacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.entries == 0 {
+            return Err("counter cache needs entries and ways".into());
+        }
+        if !self.entries.is_multiple_of(self.ways) {
+            return Err("entries must divide evenly into ways".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err("set count must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counter-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty blocks evicted (write-back NVM traffic).
+    pub dirty_evictions: u64,
+}
+
+impl CounterCacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    region: u64,
+    block: CounterBlock,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A dirty counter block evicted from the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedCounter {
+    /// Region the block covers.
+    pub region: u64,
+    /// The block contents to serialize back to NVM.
+    pub block: CounterBlock,
+}
+
+/// The set-associative counter cache.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_metadata::{CounterCache, CounterCacheConfig};
+/// use lelantus_metadata::counter_block::CounterBlock;
+///
+/// let mut cc = CounterCache::new(CounterCacheConfig::default());
+/// cc.insert(5, CounterBlock::fresh_regular(1), false);
+/// assert!(cc.get(5).is_some());
+/// assert!(cc.get(6).is_none());
+/// ```
+#[derive(Debug)]
+pub struct CounterCache {
+    config: CounterCacheConfig,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    stats: CounterCacheStats,
+}
+
+impl CounterCache {
+    /// Builds a counter cache from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn new(config: CounterCacheConfig) -> Self {
+        config.validate().expect("invalid counter cache config");
+        Self {
+            sets: (0..config.sets()).map(|_| Vec::with_capacity(config.ways)).collect(),
+            config,
+            tick: 0,
+            stats: CounterCacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CounterCacheConfig {
+        self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CounterCacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, region: u64) -> usize {
+        (region % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the counter block for `region`, updating LRU and
+    /// hit/miss statistics.
+    pub fn get(&mut self, region: u64) -> Option<CounterBlock> {
+        let set = self.set_of(region);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.region == region) {
+            e.lru = tick;
+            self.stats.hits += 1;
+            Some(e.block)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Checks for presence without disturbing statistics or LRU.
+    pub fn probe(&self, region: u64) -> bool {
+        self.sets[self.set_of(region)].iter().any(|e| e.region == region)
+    }
+
+    /// Updates a resident block in place, marking it dirty. Returns
+    /// false if the block is not resident.
+    pub fn update(&mut self, region: u64, block: CounterBlock) -> bool {
+        let set = self.set_of(region);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.region == region) {
+            e.block = block;
+            e.dirty = true;
+            e.lru = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a resident block clean (after a write-through or an
+    /// explicit flush reached NVM).
+    pub fn mark_clean(&mut self, region: u64) {
+        let set = self.set_of(region);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.region == region) {
+            e.dirty = false;
+        }
+    }
+
+    /// Inserts a block (on fill), evicting the LRU entry of the set if
+    /// full; a dirty victim is returned for write-back.
+    pub fn insert(&mut self, region: u64, block: CounterBlock, dirty: bool) -> Option<EvictedCounter> {
+        let set = self.set_of(region);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.region == region) {
+            e.block = block;
+            e.dirty = e.dirty || dirty;
+            e.lru = tick;
+            return None;
+        }
+        let victim = if self.sets[set].len() >= self.config.ways {
+            let (idx, _) =
+                self.sets[set].iter().enumerate().min_by_key(|(_, e)| e.lru).expect("full set");
+            let v = self.sets[set].swap_remove(idx);
+            if v.dirty {
+                self.stats.dirty_evictions += 1;
+                Some(EvictedCounter { region: v.region, block: v.block })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.sets[set].push(Entry { region, block, dirty, lru: tick });
+        victim
+    }
+
+    /// Removes `region` from the cache, returning its block and dirty
+    /// bit if it was resident.
+    pub fn evict(&mut self, region: u64) -> Option<(CounterBlock, bool)> {
+        let set = self.set_of(region);
+        let idx = self.sets[set].iter().position(|e| e.region == region)?;
+        let e = self.sets[set].swap_remove(idx);
+        Some((e.block, e.dirty))
+    }
+
+    /// Drains every dirty block (end-of-simulation flush).
+    pub fn drain_dirty(&mut self) -> Vec<EvictedCounter> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for e in set {
+                if e.dirty {
+                    e.dirty = false;
+                    out.push(EvictedCounter { region: e.region, block: e.block });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of resident blocks.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter_block::CounterBlock;
+
+    fn tiny() -> CounterCache {
+        CounterCache::new(CounterCacheConfig { entries: 4, ways: 2, policy: WritePolicy::WriteBack })
+    }
+
+    #[test]
+    fn default_config_matches_table3() {
+        let c = CounterCacheConfig::default();
+        assert_eq!(c.entries, 4096);
+        assert_eq!(c.ways, 16);
+        assert_eq!(c.sets(), 256);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let mut cc = tiny();
+        assert!(cc.get(0).is_none());
+        cc.insert(0, CounterBlock::fresh_regular(1), false);
+        assert!(cc.get(0).is_some());
+        let s = cc.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_dirties_and_eviction_returns_dirty() {
+        let mut cc = tiny();
+        // Regions 0 and 2 map to set 0 (2 sets).
+        cc.insert(0, CounterBlock::fresh_regular(1), false);
+        assert!(cc.update(0, CounterBlock::fresh_regular(2)));
+        cc.insert(2, CounterBlock::fresh_regular(1), false);
+        let v = cc.insert(4, CounterBlock::fresh_regular(1), false);
+        let v = v.expect("dirty LRU victim");
+        assert_eq!(v.region, 0);
+        assert_eq!(v.block.minors[0], 2);
+        assert_eq!(cc.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn clean_evictions_are_silent() {
+        let mut cc = tiny();
+        cc.insert(0, CounterBlock::fresh_regular(1), false);
+        cc.insert(2, CounterBlock::fresh_regular(1), false);
+        assert!(cc.insert(4, CounterBlock::fresh_regular(1), false).is_none());
+    }
+
+    #[test]
+    fn update_missing_returns_false() {
+        let mut cc = tiny();
+        assert!(!cc.update(9, CounterBlock::fresh_regular(1)));
+    }
+
+    #[test]
+    fn mark_clean_prevents_writeback() {
+        let mut cc = tiny();
+        cc.insert(0, CounterBlock::fresh_regular(1), true);
+        cc.mark_clean(0);
+        assert!(cc.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn drain_dirty_reports_all() {
+        let mut cc = tiny();
+        cc.insert(0, CounterBlock::fresh_regular(1), true);
+        cc.insert(1, CounterBlock::fresh_regular(1), true);
+        cc.insert(2, CounterBlock::fresh_regular(1), false);
+        assert_eq!(cc.drain_dirty().len(), 2);
+        assert!(cc.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn evict_removes() {
+        let mut cc = tiny();
+        cc.insert(3, CounterBlock::fresh_cow(7), true);
+        let (block, dirty) = cc.evict(3).unwrap();
+        assert!(dirty);
+        assert_eq!(block.cow_source(), Some(7));
+        assert!(!cc.probe(3));
+        assert_eq!(cc.resident(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CounterCacheConfig { entries: 0, ways: 1, policy: WritePolicy::WriteBack }
+            .validate()
+            .is_err());
+        assert!(CounterCacheConfig { entries: 10, ways: 4, policy: WritePolicy::WriteBack }
+            .validate()
+            .is_err());
+        assert!(CounterCacheConfig { entries: 24, ways: 8, policy: WritePolicy::WriteBack }
+            .validate()
+            .is_err());
+    }
+}

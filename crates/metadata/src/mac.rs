@@ -1,0 +1,257 @@
+//! Per-line data MACs.
+//!
+//! The paper's substrate (Rogers et al.'s Bonsai Merkle Tree design,
+//! its reference [29]) protects *counters* with the Merkle tree and
+//! *data* with per-line MACs bound to the counter value — replaying a
+//! data line then requires forging a MAC, and replaying a counter is
+//! caught by the tree. This module provides the on-chip cache for
+//! those MACs; the 8-byte tags themselves live in NVM (eight per
+//! 64-byte metadata line, placed by [`crate::MetadataLayout`]) and the
+//! memory controller computes them with its keyed hash.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of 8-byte MACs per 64-byte metadata line.
+pub const MACS_PER_LINE: usize = 8;
+
+/// Statistics for the MAC cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacCacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (NVM MAC-line fetch).
+    pub misses: u64,
+    /// Dirty MAC lines written back.
+    pub writebacks: u64,
+}
+
+impl MacCacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+/// One cached MAC line: eight tags covering eight consecutive data
+/// lines. A tag of 0 means "never written" (fresh NVM; no MAC to
+/// check).
+pub type MacLine = [u64; MACS_PER_LINE];
+
+/// A dirty MAC line evicted from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedMacLine {
+    /// Index of the MAC line within the MAC area.
+    pub index: u64,
+    /// The tags to serialize back to NVM.
+    pub macs: MacLine,
+}
+
+/// Fully-associative LRU cache of MAC lines.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_metadata::mac::MacCache;
+///
+/// let mut cache = MacCache::new(128);
+/// assert!(cache.get(7).is_none());
+/// cache.fill(7, [1, 2, 3, 4, 5, 6, 7, 8], false);
+/// assert_eq!(cache.get(7).unwrap()[2], 3);
+/// ```
+#[derive(Debug)]
+pub struct MacCache {
+    entries: HashMap<u64, (MacLine, bool, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: MacCacheStats,
+}
+
+impl MacCache {
+    /// Creates a cache holding `capacity` MAC lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MAC cache needs capacity");
+        Self { entries: HashMap::new(), capacity, tick: 0, stats: MacCacheStats::default() }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> MacCacheStats {
+        self.stats
+    }
+
+    /// Looks up MAC line `index`, updating LRU and hit/miss counters.
+    pub fn get(&mut self, index: u64) -> Option<MacLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&index) {
+            Some((line, _, lru)) => {
+                *lru = tick;
+                self.stats.hits += 1;
+                Some(*line)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a MAC line (fill after an NVM read, or a fresh update).
+    /// Returns a dirty victim that must be written back.
+    pub fn fill(&mut self, index: u64, macs: MacLine, dirty: bool) -> Option<EvictedMacLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&index) {
+            e.0 = macs;
+            e.1 |= dirty;
+            e.2 = tick;
+            return None;
+        }
+        let victim = if self.entries.len() >= self.capacity {
+            let victim_key =
+                self.entries.iter().min_by_key(|(_, (_, _, lru))| *lru).map(|(&k, _)| k);
+            victim_key.and_then(|k| {
+                let (line, was_dirty, _) = self.entries.remove(&k).expect("present");
+                if was_dirty {
+                    self.stats.writebacks += 1;
+                    Some(EvictedMacLine { index: k, macs: line })
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
+        self.entries.insert(index, (macs, dirty, tick));
+        victim
+    }
+
+    /// Updates one tag within a (resident) MAC line, marking it dirty.
+    /// Returns false if the line is not resident.
+    pub fn update_tag(&mut self, index: u64, slot: usize, tag: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&index) {
+            Some((line, dirty, lru)) => {
+                line[slot] = tag;
+                *dirty = true;
+                *lru = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains every dirty MAC line (flush / crash).
+    pub fn drain_dirty(&mut self) -> Vec<EvictedMacLine> {
+        let mut out = Vec::new();
+        for (&index, entry) in self.entries.iter_mut() {
+            if entry.1 {
+                entry.1 = false;
+                out.push(EvictedMacLine { index, macs: entry.0 });
+            }
+        }
+        out.sort_by_key(|e| e.index);
+        out
+    }
+
+    /// Drops all entries (power loss — MACs persist in NVM).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident MAC lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Serializes a MAC line to its 64-byte NVM representation.
+pub fn encode_mac_line(macs: &MacLine) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (i, mac) in macs.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&mac.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a MAC line from its 64-byte NVM representation.
+pub fn decode_mac_line(bytes: &[u8; 64]) -> MacLine {
+    let mut out = [0u64; MACS_PER_LINE];
+    for (i, mac) in out.iter_mut().enumerate() {
+        *mac = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_get_update() {
+        let mut c = MacCache::new(4);
+        assert!(c.get(1).is_none());
+        c.fill(1, [10; 8], false);
+        assert_eq!(c.get(1), Some([10; 8]));
+        assert!(c.update_tag(1, 3, 99));
+        assert_eq!(c.get(1).unwrap()[3], 99);
+        assert!(!c.update_tag(2, 0, 1), "missing line");
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction() {
+        let mut c = MacCache::new(2);
+        c.fill(1, [1; 8], true);
+        c.fill(2, [2; 8], false);
+        c.get(2); // 1 becomes LRU
+        let v = c.fill(3, [3; 8], false).expect("dirty victim");
+        assert_eq!(v.index, 1);
+        assert_eq!(v.macs, [1; 8]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = MacCache::new(1);
+        c.fill(1, [1; 8], false);
+        assert!(c.fill(2, [2; 8], false).is_none());
+    }
+
+    #[test]
+    fn drain_and_clear() {
+        let mut c = MacCache::new(4);
+        c.fill(1, [1; 8], true);
+        c.fill(2, [2; 8], true);
+        c.fill(3, [3; 8], false);
+        let drained = c.drain_dirty();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].index, 1);
+        assert!(c.drain_dirty().is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let macs = [0x1122334455667788u64, 1, 2, 3, 4, 5, 6, u64::MAX];
+        assert_eq!(decode_mac_line(&encode_mac_line(&macs)), macs);
+    }
+}

@@ -1,0 +1,516 @@
+//! The NVM device front-end: content store plus timing.
+
+use crate::bank::Bank;
+use crate::config::NvmConfig;
+use crate::start_gap::StartGap;
+use crate::stats::NvmStats;
+use crate::wear::WearTracker;
+use crate::write_queue::WriteQueue;
+use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
+use std::collections::HashMap;
+
+/// The simulated non-volatile memory device.
+///
+/// Stores real line contents (sparsely; unwritten lines read as zero,
+/// matching NVM shipped in an erased state) and models per-bank timing
+/// with row buffers and a merging write queue.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_nvm::{NvmConfig, NvmDevice};
+/// use lelantus_types::{Cycles, PhysAddr};
+///
+/// let mut dev = NvmDevice::new(NvmConfig::default());
+/// let a = PhysAddr::new(0x40);
+/// let ack = dev.write_line(a, [1; 64], Cycles::ZERO);
+/// let (data, _done) = dev.read_line(a, ack);
+/// assert_eq!(data, [1; 64]);
+/// ```
+#[derive(Debug)]
+pub struct NvmDevice {
+    config: NvmConfig,
+    banks: Vec<Bank>,
+    /// Per-rank data-bus availability.
+    bus_busy: Vec<Cycles>,
+    write_queue: WriteQueue,
+    /// Line contents keyed by *device* (post-leveling) address.
+    contents: HashMap<u64, [u8; LINE_BYTES]>,
+    wear: WearTracker,
+    leveler: Option<StartGap>,
+    stats: NvmStats,
+}
+
+impl NvmDevice {
+    /// Creates a device from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NvmConfig::validate`]).
+    pub fn new(config: NvmConfig) -> Self {
+        config.validate().expect("invalid NVM configuration");
+        let banks = (0..config.total_banks()).map(|_| Bank::new()).collect();
+        let write_queue = WriteQueue::new(config.write_queue_capacity);
+        let leveler = config
+            .wear_leveling
+            .map(|sg| StartGap::new(config.capacity_bytes / LINE_BYTES as u64, sg));
+        Self {
+            bus_busy: vec![Cycles::ZERO; config.ranks],
+            config,
+            banks,
+            write_queue,
+            contents: HashMap::new(),
+            wear: WearTracker::new(),
+            leveler,
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// Device (post-leveling) line address of a logical line address.
+    fn map_addr(&self, addr: PhysAddr) -> PhysAddr {
+        let line = addr.line_align();
+        match &self.leveler {
+            None => line,
+            Some(sg) => {
+                let slot = sg.logical_to_physical(line.as_u64() / LINE_BYTES as u64);
+                PhysAddr::new(slot * LINE_BYTES as u64)
+            }
+        }
+    }
+
+    /// Advances the wear-leveling gap when due, relocating one line.
+    fn leveling_tick(&mut self, now: Cycles) {
+        let Some(sg) = &mut self.leveler else { return };
+        sg.record_write();
+        if let Some((from, to)) = sg.pending_move() {
+            let from_addr = PhysAddr::new(from * LINE_BYTES as u64);
+            let to_addr = PhysAddr::new(to * LINE_BYTES as u64);
+            if let Some(data) = self.contents.remove(&from_addr.as_u64()) {
+                self.contents.insert(to_addr.as_u64(), data);
+            } else {
+                self.contents.remove(&to_addr.as_u64());
+            }
+            self.leveler.as_mut().expect("leveler present").complete_move();
+            self.stats.leveling_moves += 1;
+            // Charge the relocation: one array read + one array write.
+            self.array_access_device(from_addr, now, false);
+            self.array_access_device(to_addr, now, true);
+            self.stats.line_reads += 1;
+            self.stats.line_writes += 1;
+            self.wear.record_line_write(to_addr);
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics (write-queue figures folded in).
+    pub fn stats(&self) -> NvmStats {
+        let wq = self.write_queue.stats();
+        NvmStats {
+            forwarded_reads: wq.forwarded_reads,
+            merged_writes: wq.merged,
+            ..self.stats
+        }
+    }
+
+    /// Wear tracker for endurance reporting.
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    fn bank_index(&self, addr: PhysAddr) -> usize {
+        let a = addr.line_align().as_u64();
+        if self.config.line_interleave {
+            ((a / LINE_BYTES as u64) % self.config.total_banks() as u64) as usize
+        } else {
+            ((a / self.config.row_buffer_bytes) % self.config.total_banks() as u64) as usize
+        }
+    }
+
+    fn row_id(&self, addr: PhysAddr) -> u64 {
+        addr.line_align().as_u64() / self.config.row_buffer_bytes
+    }
+
+    /// Array access for a *logical* address (applies wear leveling).
+    fn array_access(&mut self, addr: PhysAddr, now: Cycles, is_write: bool) -> Cycles {
+        let device = self.map_addr(addr);
+        let done = self.array_access_device(device, now, is_write);
+        if is_write {
+            self.leveling_tick(now);
+        }
+        done
+    }
+
+    /// Array access at a *device* (post-leveling) address.
+    fn array_access_device(&mut self, addr: PhysAddr, now: Cycles, is_write: bool) -> Cycles {
+        let bank_idx = self.bank_index(addr);
+        let row = self.row_id(addr);
+        let miss_latency =
+            Cycles::new(if is_write { self.config.write_latency } else { self.config.read_latency });
+        let hit_latency = if is_write {
+            // Writes to an open row still pay the array write; the row
+            // buffer only saves the activation, modelled as the
+            // difference between read miss and hit cost.
+            Cycles::new(
+                self.config
+                    .write_latency
+                    .saturating_sub(self.config.read_latency - self.config.row_hit_latency),
+            )
+        } else {
+            Cycles::new(self.config.row_hit_latency)
+        };
+        let access = self.banks[bank_idx].access(row, now, hit_latency, miss_latency);
+        if access.row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        self.stats.energy_pj += if is_write {
+            self.config.write_energy_pj
+        } else {
+            self.config.read_energy_pj
+        };
+        // The 64-byte transfer serializes on the rank's shared data bus.
+        let rank = bank_idx / self.config.banks_per_rank;
+        let start = access.done_at.max(self.bus_busy[rank]);
+        let done = start + Cycles::new(self.config.bus_cycles);
+        self.bus_busy[rank] = done;
+        done
+    }
+
+    /// Reads the 64-byte line containing `addr`, returning the data and
+    /// the completion instant. Pending queued writes are forwarded.
+    pub fn read_line(&mut self, addr: PhysAddr, now: Cycles) -> ([u8; LINE_BYTES], Cycles) {
+        let line = addr.line_align();
+        if let Some(data) = self.write_queue.forward(line) {
+            // Forwarded from the write queue: effectively SRAM speed.
+            return (data, now + Cycles::new(1));
+        }
+        self.stats.line_reads += 1;
+        let done = self.array_access(line, now, false);
+        let device = self.map_addr(line);
+        let data = self.contents.get(&device.as_u64()).copied().unwrap_or([0; LINE_BYTES]);
+        (data, done)
+    }
+
+    /// Posts a 64-byte line write. Returns the acknowledgement instant:
+    /// immediate when the write queue has room, or delayed by a
+    /// synchronous drain when it is full.
+    pub fn write_line(&mut self, addr: PhysAddr, data: [u8; LINE_BYTES], now: Cycles) -> Cycles {
+        let line = addr.line_align();
+        // Content becomes visible immediately (reads forward from the
+        // queue until the array write drains).
+        let device = self.map_addr(line);
+        self.contents.insert(device.as_u64(), data);
+        match self.write_queue.push(line, data, now) {
+            None => now + Cycles::new(1),
+            Some(drained) => {
+                // The drained write has been eligible since it was
+                // enqueued; the controller retires it opportunistically,
+                // so the array access starts at the later of its
+                // enqueue time and bank availability — not at the
+                // pushing request's (possibly far later) time.
+                let device = self.map_addr(drained.addr);
+                let done = self.array_access(drained.addr, drained.enqueued_at, true);
+                self.stats.line_writes += 1;
+                self.wear.record_line_write(device);
+                // The pusher stalls only until queue space exists.
+                done.max(now + Cycles::new(1))
+            }
+        }
+    }
+
+    /// Writes a line *durably*: straight to the array, bypassing the
+    /// volatile write queue (used by write-through counter management,
+    /// whose whole point is that the update is persistent immediately —
+    /// paper §V-E). Any queued volatile write to the same line is
+    /// superseded.
+    pub fn write_line_durable(&mut self, addr: PhysAddr, data: [u8; LINE_BYTES], now: Cycles) -> Cycles {
+        let line = addr.line_align();
+        let device = self.map_addr(line);
+        self.contents.insert(device.as_u64(), data);
+        // Remove a stale queued write so it cannot clobber this one.
+        self.write_queue.discard(line);
+        let done = self.array_access(line, now, true);
+        self.stats.line_writes += 1;
+        self.wear.record_line_write(device);
+        done
+    }
+
+    /// Drains every queued write to the array (persist barrier / end of
+    /// simulation), returning the instant the last write completes.
+    pub fn flush(&mut self, now: Cycles) -> Cycles {
+        let mut done = now;
+        for w in self.write_queue.drain_all() {
+            let device = self.map_addr(w.addr);
+            let t = self.array_access(w.addr, w.enqueued_at, true);
+            self.stats.line_writes += 1;
+            self.wear.record_line_write(device);
+            done = done.max(t);
+        }
+        done
+    }
+
+    /// Functional (un-timed, un-charged) line write. Models boot-time
+    /// initialization (e.g. factory counter state) and test setup; the
+    /// datapath must use [`NvmDevice::write_line`].
+    pub fn poke_line(&mut self, addr: PhysAddr, data: [u8; LINE_BYTES]) {
+        let device = self.map_addr(addr.line_align());
+        self.contents.insert(device.as_u64(), data);
+    }
+
+    /// Functional (un-timed) view of a line's current contents.
+    /// Intended for assertions and debugging, not the datapath.
+    pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
+        let device = self.map_addr(addr.line_align());
+        self.contents.get(&device.as_u64()).copied().unwrap_or([0; LINE_BYTES])
+    }
+
+    /// Device (post-leveling) address a logical line currently maps to
+    /// (diagnostics; identity when leveling is off).
+    pub fn device_addr_of(&self, addr: PhysAddr) -> PhysAddr {
+        self.map_addr(addr.line_align())
+    }
+
+    /// Start-Gap leveling moves so far (0 when disabled).
+    pub fn leveling_moves(&self) -> u64 {
+        self.stats.leveling_moves
+    }
+
+    /// Latest instant any bank is busy until (diagnostics).
+    pub fn max_bank_busy(&self) -> Cycles {
+        self.banks.iter().map(|b| b.busy_until()).max().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Pending writes in the queue (diagnostics).
+    pub fn queued_writes(&self) -> usize {
+        self.write_queue.len()
+    }
+
+    /// Per-bank busy-until instants (diagnostics).
+    pub fn bank_busy_profile(&self) -> Vec<u64> {
+        self.banks.iter().map(|b| b.busy_until().as_u64()).collect()
+    }
+
+    /// Number of distinct lines ever written (content-store footprint).
+    pub fn resident_lines(&self) -> usize {
+        self.contents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(NvmConfig { write_queue_capacity: 4, ..NvmConfig::default() })
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let mut d = dev();
+        let (data, done) = d.read_line(PhysAddr::new(0x1000), Cycles::ZERO);
+        assert_eq!(data, [0; 64]);
+        assert_eq!(done, Cycles::new(60 + 4), "array read plus bus transfer");
+        assert_eq!(d.stats().line_reads, 1);
+    }
+
+    #[test]
+    fn write_then_read_forwards_from_queue() {
+        let mut d = dev();
+        d.write_line(PhysAddr::new(0x80), [3; 64], Cycles::ZERO);
+        let (data, done) = d.read_line(PhysAddr::new(0x80), Cycles::new(10));
+        assert_eq!(data, [3; 64]);
+        assert_eq!(done, Cycles::new(11), "forwarded read is fast");
+        assert_eq!(d.stats().forwarded_reads, 1);
+        assert_eq!(d.stats().line_reads, 0);
+    }
+
+    #[test]
+    fn queue_overflow_causes_array_writes() {
+        let mut d = dev();
+        for i in 0..4 {
+            d.write_line(PhysAddr::new(i * 64), [i as u8; 64], Cycles::ZERO);
+        }
+        assert_eq!(d.stats().line_writes, 0);
+        d.write_line(PhysAddr::new(4 * 64), [4; 64], Cycles::ZERO);
+        assert_eq!(d.stats().line_writes, 1);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut d = dev();
+        for i in 0..3 {
+            d.write_line(PhysAddr::new(i * 64), [1; 64], Cycles::ZERO);
+        }
+        let done = d.flush(Cycles::new(100));
+        assert_eq!(d.stats().line_writes, 3);
+        assert!(done > Cycles::new(100));
+        assert_eq!(d.wear().total_line_writes(), 3);
+    }
+
+    #[test]
+    fn same_line_writes_merge() {
+        let mut d = dev();
+        for _ in 0..10 {
+            d.write_line(PhysAddr::new(0x40), [7; 64], Cycles::ZERO);
+        }
+        d.flush(Cycles::ZERO);
+        assert_eq!(d.stats().line_writes, 1, "merged writes hit the array once");
+        assert_eq!(d.stats().merged_writes, 9);
+    }
+
+    #[test]
+    fn row_buffer_hits_are_faster() {
+        let mut d = NvmDevice::new(NvmConfig {
+            line_interleave: false, // keep a 4 KB row on one bank
+            ..NvmConfig::default()
+        });
+        let (_, t1) = d.read_line(PhysAddr::new(0x0), Cycles::ZERO);
+        let (_, t2) = d.read_line(PhysAddr::new(0x40), t1);
+        assert_eq!(t1, Cycles::new(64));
+        assert_eq!(t2 - t1, Cycles::new(15 + 4), "row hit plus bus transfer");
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn banks_operate_in_parallel() {
+        let mut d = NvmDevice::new(NvmConfig::default());
+        // Consecutive lines interleave across banks: the array accesses
+        // overlap fully; only the two 4-cycle bus transfers serialize.
+        let (_, t1) = d.read_line(PhysAddr::new(0x0), Cycles::ZERO);
+        let (_, t2) = d.read_line(PhysAddr::new(0x40), Cycles::ZERO);
+        assert_eq!(t1, Cycles::new(64));
+        assert_eq!(t2, Cycles::new(68), "second transfer queues behind the first");
+    }
+
+    #[test]
+    fn peek_matches_write() {
+        let mut d = dev();
+        d.write_line(PhysAddr::new(0x123), [9; 64], Cycles::ZERO);
+        assert_eq!(d.peek_line(PhysAddr::new(0x100)), [9; 64]);
+        assert_eq!(d.resident_lines(), 1);
+    }
+}
+
+#[cfg(test)]
+mod leveling_tests {
+    use super::*;
+    use crate::start_gap::StartGapConfig;
+
+    fn leveled(psi: u64) -> NvmDevice {
+        NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            wear_leveling: Some(StartGapConfig { gap_write_interval: psi }),
+            write_queue_capacity: 4,
+            ..NvmConfig::default()
+        })
+    }
+
+    #[test]
+    fn contents_survive_gap_moves() {
+        let mut d = leveled(3);
+        // Write several lines, forcing drains and gap moves.
+        for i in 0..64u64 {
+            d.write_line(PhysAddr::new(i * 64), [i as u8; 64], Cycles::ZERO);
+        }
+        d.flush(Cycles::ZERO);
+        assert!(d.leveling_moves() > 0, "gap must have moved");
+        // Every logical line still reads back its own data.
+        for i in 0..64u64 {
+            let (data, _) = d.read_line(PhysAddr::new(i * 64), Cycles::ZERO);
+            assert_eq!(data, [i as u8; 64], "line {i} corrupted by leveling");
+        }
+    }
+
+    #[test]
+    fn hammering_one_line_spreads_physical_wear() {
+        // Start-Gap needs a full revolution (N·ψ writes) to migrate a
+        // given line, so exercise a tiny device with an aggressive ψ.
+        let run = |leveling: bool| {
+            let mut d = NvmDevice::new(NvmConfig {
+                capacity_bytes: 16 << 10, // 256 lines
+                wear_leveling: leveling.then(|| StartGapConfig { gap_write_interval: 1 }),
+                write_queue_capacity: 4,
+                ..NvmConfig::default()
+            });
+            let home = d.device_addr_of(PhysAddr::new(0x40));
+            let mut slots_visited = std::collections::HashSet::new();
+            // 2000 durable writes to one logical line.
+            for i in 0..2000u64 {
+                d.write_line_durable(PhysAddr::new(0x40), [i as u8; 64], Cycles::ZERO);
+                slots_visited.insert(d.device_addr_of(PhysAddr::new(0x40)));
+            }
+            d.flush(Cycles::ZERO);
+            // The hammered line must still hold its last value.
+            assert_eq!(d.peek_line(PhysAddr::new(0x40)), [(1999 % 256) as u8; 64]);
+            (home, slots_visited.len(), d.wear().touched_regions())
+        };
+        let (home_plain, slots_plain, regions_plain) = run(false);
+        let (_home, slots_leveled, regions_leveled) = run(true);
+        assert_eq!(slots_plain, 1, "no leveling: the line never moves");
+        // 2000 moves over 257 slots ≈ 7.8 revolutions: the hot line
+        // migrated once per revolution.
+        assert!(
+            slots_leveled >= 7,
+            "the hammered line must migrate each revolution: {slots_leveled}"
+        );
+        assert!(regions_leveled > regions_plain, "gap sweeps spread wear across regions");
+        let _ = home_plain;
+    }
+
+    #[test]
+    fn leveling_overhead_is_about_one_percent() {
+        let mut d = leveled(100);
+        for i in 0..5000u64 {
+            d.write_line_durable(PhysAddr::new((i % 512) * 64), [1; 64], Cycles::ZERO);
+        }
+        let moves = d.leveling_moves();
+        // ψ=100 ⇒ ~1 move per 100 writes.
+        assert!((40..=60).contains(&moves), "moves {moves} out of expected band");
+    }
+
+    #[test]
+    fn peek_poke_respect_mapping() {
+        let mut d = leveled(2);
+        d.poke_line(PhysAddr::new(0x80), [9; 64]);
+        assert_eq!(d.peek_line(PhysAddr::new(0x80)), [9; 64]);
+        // Trigger some moves, then logical views must be stable.
+        for i in 0..32u64 {
+            d.write_line_durable(PhysAddr::new(0x1000 + i * 64), [i as u8; 64], Cycles::ZERO);
+        }
+        assert_eq!(d.peek_line(PhysAddr::new(0x80)), [9; 64]);
+    }
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+
+    #[test]
+    fn writes_cost_more_energy_than_reads() {
+        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 1, ..NvmConfig::default() });
+        d.read_line(PhysAddr::new(0), Cycles::ZERO);
+        let after_read = d.stats().energy_pj;
+        d.write_line_durable(PhysAddr::new(64), [1; 64], Cycles::ZERO);
+        let after_write = d.stats().energy_pj - after_read;
+        assert_eq!(after_read, 1_000);
+        assert_eq!(after_write, 12_000);
+        assert!((d.stats().energy_mj() - 13e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queued_writes_charge_energy_when_drained() {
+        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 8, ..NvmConfig::default() });
+        for i in 0..4u64 {
+            d.write_line(PhysAddr::new(i * 64), [1; 64], Cycles::ZERO);
+        }
+        assert_eq!(d.stats().energy_pj, 0, "no array access yet");
+        d.flush(Cycles::ZERO);
+        assert_eq!(d.stats().energy_pj, 4 * 12_000);
+    }
+}

@@ -1,0 +1,48 @@
+//! Non-volatile main-memory device model for the Lelantus reproduction.
+//!
+//! The paper (Table III) evaluates on 16 GB of persistent memory with
+//! 2 ranks × 8 banks, 60 ns reads and 150 ns writes behind an 8-core
+//! 1 GHz processor. This crate models that device:
+//!
+//! * [`config`] — device geometry and latency parameters,
+//! * [`bank`] — per-bank busy time and an open-row buffer,
+//! * [`write_queue`] — a merging write queue with read forwarding (the
+//!   paper notes delayed copies "enable the memory controller to merge
+//!   more writes and copies in the request queue", §IV-C),
+//! * [`device`] — the [`NvmDevice`] front-end that schedules accesses
+//!   and accounts time,
+//! * [`wear`] — per-region write counters for lifetime/endurance
+//!   reporting (limited write endurance is the paper's core motivation),
+//! * [`stats`] — counters every experiment harness reads.
+//!
+//! The model is *timing plus content*: the device stores actual bytes
+//! (ciphertext, once the secure controller is stacked on top) and
+//! returns completion times for every access.
+//!
+//! # Examples
+//!
+//! ```
+//! use lelantus_nvm::{NvmConfig, NvmDevice};
+//! use lelantus_types::{Cycles, PhysAddr};
+//!
+//! let mut dev = NvmDevice::new(NvmConfig::default());
+//! let addr = PhysAddr::new(0x1000);
+//! dev.write_line(addr, [7u8; 64], Cycles::ZERO);
+//! let (data, done) = dev.read_line(addr, Cycles::ZERO);
+//! assert_eq!(data, [7u8; 64]);
+//! assert!(done > Cycles::ZERO);
+//! ```
+
+pub mod bank;
+pub mod config;
+pub mod device;
+pub mod start_gap;
+pub mod stats;
+pub mod wear;
+pub mod write_queue;
+
+pub use config::NvmConfig;
+pub use device::NvmDevice;
+pub use stats::NvmStats;
+pub use start_gap::{StartGap, StartGapConfig};
+pub use wear::WearTracker;

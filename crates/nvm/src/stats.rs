@@ -1,0 +1,82 @@
+//! Device-level statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters exported by the NVM device.
+///
+/// `line_writes` is the paper's headline "number of NVM writes" metric
+/// (Figs 2, 9b/9d, 11b/11d): one count per 64-byte physical array
+/// write, whether it carries data, encryption counters, or CoW
+/// metadata.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmStats {
+    /// Physical 64-byte array reads.
+    pub line_reads: u64,
+    /// Physical 64-byte array writes.
+    pub line_writes: u64,
+    /// Accesses that hit an open row buffer.
+    pub row_hits: u64,
+    /// Accesses that had to open a row.
+    pub row_misses: u64,
+    /// Reads serviced by write-queue forwarding (no array access).
+    pub forwarded_reads: u64,
+    /// Writes merged in the write queue (no extra array write).
+    pub merged_writes: u64,
+    /// Start-Gap wear-leveling moves performed.
+    pub leveling_moves: u64,
+    /// Dynamic array energy consumed, picojoules.
+    pub energy_pj: u64,
+}
+
+impl NvmStats {
+    /// Row-buffer hit rate over all array accesses, in [0, 1].
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Dynamic energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_pj as f64 / 1e9
+    }
+
+    /// Component-wise difference (`self - earlier`), for interval
+    /// measurements.
+    pub fn delta_since(&self, earlier: &NvmStats) -> NvmStats {
+        NvmStats {
+            line_reads: self.line_reads - earlier.line_reads,
+            line_writes: self.line_writes - earlier.line_writes,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            forwarded_reads: self.forwarded_reads - earlier.forwarded_reads,
+            merged_writes: self.merged_writes - earlier.merged_writes,
+            leveling_moves: self.leveling_moves - earlier.leveling_moves,
+            energy_pj: self.energy_pj - earlier.energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let s = NvmStats { row_hits: 3, row_misses: 1, ..Default::default() };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(NvmStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let a = NvmStats { line_reads: 10, line_writes: 5, ..Default::default() };
+        let b = NvmStats { line_reads: 25, line_writes: 9, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.line_reads, 15);
+        assert_eq!(d.line_writes, 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! A merging write queue with read forwarding.
+//!
+//! Real persistent-memory controllers buffer writes so that reads are
+//! not stalled behind slow (150 ns) array writes, and coalesce multiple
+//! writes to the same line. The paper relies on this effect: deferring
+//! copies "enables the memory controller to merge more writes and
+//! copies in the request queue" (§IV-C). The queue here is FIFO with
+//! same-line merge; when full, the oldest entry is drained to the
+//! array synchronously (write-induced stall).
+
+use lelantus_types::{Cycles, PhysAddr};
+use std::collections::VecDeque;
+
+/// One pending line write.
+#[derive(Debug, Clone)]
+pub struct PendingWrite {
+    /// Line-aligned target address.
+    pub addr: PhysAddr,
+    /// Data to be written.
+    pub data: [u8; 64],
+    /// Time the write entered the queue.
+    pub enqueued_at: Cycles,
+}
+
+/// Statistics maintained by the queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteQueueStats {
+    /// Writes accepted into the queue.
+    pub enqueued: u64,
+    /// Writes merged into an existing same-line entry.
+    pub merged: u64,
+    /// Reads serviced by forwarding queued data.
+    pub forwarded_reads: u64,
+    /// Entries evicted because the queue was full.
+    pub capacity_drains: u64,
+}
+
+/// The merging write queue.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_nvm::write_queue::WriteQueue;
+/// use lelantus_types::{Cycles, PhysAddr};
+///
+/// let mut q = WriteQueue::new(4);
+/// q.push(PhysAddr::new(0x40), [1; 64], Cycles::ZERO);
+/// q.push(PhysAddr::new(0x40), [2; 64], Cycles::ZERO); // merges
+/// assert_eq!(q.len(), 1);
+/// assert_eq!(q.forward(PhysAddr::new(0x40)), Some([2; 64]));
+/// ```
+#[derive(Debug)]
+pub struct WriteQueue {
+    entries: VecDeque<PendingWrite>,
+    capacity: usize,
+    stats: WriteQueueStats,
+}
+
+impl WriteQueue {
+    /// Creates a queue holding at most `capacity` line writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write queue needs capacity");
+        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: WriteQueueStats::default() }
+    }
+
+    /// Number of distinct pending line writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no writes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when the next push of a *new* line must drain an entry.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Queue statistics.
+    pub fn stats(&self) -> WriteQueueStats {
+        self.stats
+    }
+
+    /// Enqueues a write; merging into an existing entry for the same
+    /// line if present. Returns the entry that must be drained first
+    /// when the queue overflows.
+    pub fn push(
+        &mut self,
+        addr: PhysAddr,
+        data: [u8; 64],
+        now: Cycles,
+    ) -> Option<PendingWrite> {
+        let addr = addr.line_align();
+        self.stats.enqueued += 1;
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            existing.data = data;
+            existing.enqueued_at = now;
+            self.stats.merged += 1;
+            return None;
+        }
+        let drained = if self.is_full() {
+            self.stats.capacity_drains += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(PendingWrite { addr, data, enqueued_at: now });
+        drained
+    }
+
+    /// Returns the queued data for `addr` if a write is pending
+    /// (read forwarding).
+    pub fn forward(&mut self, addr: PhysAddr) -> Option<[u8; 64]> {
+        let addr = addr.line_align();
+        let hit = self.entries.iter().find(|e| e.addr == addr).map(|e| e.data);
+        if hit.is_some() {
+            self.stats.forwarded_reads += 1;
+        }
+        hit
+    }
+
+    /// Removes and returns the oldest pending write.
+    pub fn pop(&mut self) -> Option<PendingWrite> {
+        self.entries.pop_front()
+    }
+
+    /// Drops any pending write to `addr` (superseded by a durable
+    /// write). Returns true if an entry was discarded.
+    pub fn discard(&mut self, addr: PhysAddr) -> bool {
+        let addr = addr.line_align();
+        let before = self.entries.len();
+        self.entries.retain(|e| e.addr != addr);
+        self.entries.len() != before
+    }
+
+    /// Drains all pending writes (e.g. at a persist barrier).
+    pub fn drain_all(&mut self) -> Vec<PendingWrite> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(a: u64) -> PhysAddr {
+        PhysAddr::new(a * 64)
+    }
+
+    #[test]
+    fn merge_same_line() {
+        let mut q = WriteQueue::new(8);
+        q.push(line(1), [1; 64], Cycles::ZERO);
+        q.push(line(1), [2; 64], Cycles::new(5));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().merged, 1);
+        assert_eq!(q.pop().unwrap().data, [2; 64]);
+    }
+
+    #[test]
+    fn overflow_drains_oldest() {
+        let mut q = WriteQueue::new(2);
+        assert!(q.push(line(1), [1; 64], Cycles::ZERO).is_none());
+        assert!(q.push(line(2), [2; 64], Cycles::ZERO).is_none());
+        let drained = q.push(line(3), [3; 64], Cycles::ZERO).expect("must drain");
+        assert_eq!(drained.addr, line(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().capacity_drains, 1);
+    }
+
+    #[test]
+    fn forwarding() {
+        let mut q = WriteQueue::new(4);
+        q.push(line(7), [9; 64], Cycles::ZERO);
+        assert_eq!(q.forward(line(7)), Some([9; 64]));
+        assert_eq!(q.forward(line(8)), None);
+        assert_eq!(q.stats().forwarded_reads, 1);
+    }
+
+    #[test]
+    fn forward_uses_line_alignment() {
+        let mut q = WriteQueue::new(4);
+        q.push(PhysAddr::new(0x1008), [3; 64], Cycles::ZERO);
+        assert_eq!(q.forward(PhysAddr::new(0x1030)), Some([3; 64]));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut q = WriteQueue::new(4);
+        q.push(line(1), [1; 64], Cycles::ZERO);
+        q.push(line(2), [2; 64], Cycles::ZERO);
+        assert_eq!(q.drain_all().len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = WriteQueue::new(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Kernel error type.
+
+use lelantus_types::VirtAddr;
+
+/// Errors surfaced by kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// The referenced process does not exist or has exited.
+    NoSuchProcess(u64),
+    /// The virtual address is not covered by any VMA of the process.
+    UnmappedAddress { pid: u64, va: VirtAddr },
+    /// Physical memory is exhausted.
+    OutOfMemory,
+    /// The requested mapping overlaps an existing VMA or is malformed.
+    BadMapping(String),
+    /// A write hit a read-only (non-CoW) mapping.
+    AccessViolation { pid: u64, va: VirtAddr },
+}
+
+impl std::fmt::Display for OsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsError::NoSuchProcess(pid) => write!(f, "no such process {pid}"),
+            OsError::UnmappedAddress { pid, va } => {
+                write!(f, "process {pid} has no mapping at {va}")
+            }
+            OsError::OutOfMemory => write!(f, "out of physical memory"),
+            OsError::BadMapping(why) => write!(f, "bad mapping: {why}"),
+            OsError::AccessViolation { pid, va } => {
+                write!(f, "process {pid} cannot write read-only page at {va}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(OsError::NoSuchProcess(3).to_string(), "no such process 3");
+        assert_eq!(OsError::OutOfMemory.to_string(), "out of physical memory");
+        let e = OsError::UnmappedAddress { pid: 1, va: VirtAddr::new(0x1000) };
+        assert!(e.to_string().contains("0x1000"));
+    }
+}

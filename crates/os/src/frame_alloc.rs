@@ -1,0 +1,315 @@
+//! A buddy allocator over physical page frames.
+//!
+//! Manages the OS-visible data area in power-of-two blocks from 4 KB
+//! (order 0) up to 2 MB (order 9, a huge page) and beyond, with the
+//! classic split-on-alloc / merge-on-free discipline. This is the
+//! substrate behind `alloc_page()` in the fault handlers.
+
+use lelantus_types::PhysAddr;
+use std::collections::BTreeSet;
+
+/// Smallest block: one 4 KB frame.
+pub const BASE_ORDER_BYTES: u64 = 4096;
+
+/// Largest supported order (order 11 = 8 MB), comfortably above huge
+/// pages (order 9 = 2 MB).
+pub const MAX_ORDER: u32 = 11;
+
+/// A power-of-two buddy allocator.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_os::BuddyAllocator;
+///
+/// let mut buddy = BuddyAllocator::new(0x0, 1 << 20); // 1 MiB arena
+/// let frame = buddy.alloc(0).expect("a 4 KB frame");
+/// buddy.free(frame, 0);
+/// assert_eq!(buddy.free_bytes(), 1 << 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    base: u64,
+    total_bytes: u64,
+    /// free_lists[order] holds offsets (from base) of free blocks.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Live allocations as (offset, order) — double-free detection.
+    allocated: BTreeSet<(u64, u32)>,
+    free_bytes: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over `[base, base + bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`bytes` are not multiples of 4 KB or `bytes`
+    /// is zero.
+    pub fn new(base: u64, bytes: u64) -> Self {
+        assert!(bytes > 0 && bytes.is_multiple_of(BASE_ORDER_BYTES), "arena must be whole frames");
+        assert!(base.is_multiple_of(BASE_ORDER_BYTES), "base must be frame-aligned");
+        let mut a = Self {
+            base,
+            total_bytes: bytes,
+            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            allocated: BTreeSet::new(),
+            free_bytes: 0,
+        };
+        // Seed with maximal aligned blocks.
+        let mut offset = 0;
+        while offset < bytes {
+            let mut order = MAX_ORDER;
+            loop {
+                let size = Self::order_bytes(order);
+                if offset % size == 0 && offset + size <= bytes {
+                    break;
+                }
+                order -= 1;
+            }
+            a.free_lists[order as usize].insert(offset);
+            a.free_bytes += Self::order_bytes(order);
+            offset += Self::order_bytes(order);
+        }
+        a
+    }
+
+    /// Bytes in a block of `order`.
+    pub fn order_bytes(order: u32) -> u64 {
+        BASE_ORDER_BYTES << order
+    }
+
+    /// Order needed for an allocation of `bytes`.
+    pub fn order_for_bytes(bytes: u64) -> u32 {
+        let mut order = 0;
+        while Self::order_bytes(order) < bytes {
+            order += 1;
+        }
+        order
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
+    }
+
+    /// Total arena size.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Allocates a block of `order`, splitting larger blocks as needed.
+    /// Returns `None` when no block is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > MAX_ORDER`.
+    pub fn alloc(&mut self, order: u32) -> Option<PhysAddr> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        // Find the smallest available order >= requested.
+        let mut found = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&offset) = self.free_lists[o as usize].iter().next() {
+                found = Some((o, offset));
+                break;
+            }
+        }
+        let (mut o, offset) = found?;
+        self.free_lists[o as usize].remove(&offset);
+        // Split down to the requested order, freeing the upper buddies.
+        while o > order {
+            o -= 1;
+            let buddy = offset + Self::order_bytes(o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.free_bytes -= Self::order_bytes(order);
+        self.allocated.insert((offset, order));
+        Some(PhysAddr::new(self.base + offset))
+    }
+
+    /// Frees a block previously returned by [`BuddyAllocator::alloc`]
+    /// with the same `order`, merging buddies eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free, misaligned address, or out-of-arena
+    /// address.
+    pub fn free(&mut self, addr: PhysAddr, order: u32) {
+        assert!(order <= MAX_ORDER);
+        let raw = addr.as_u64();
+        assert!(raw >= self.base && raw - self.base < self.total_bytes, "address outside arena");
+        let mut offset = raw - self.base;
+        assert!(offset.is_multiple_of(Self::order_bytes(order)), "misaligned free");
+        assert!(
+            self.allocated.remove(&(offset, order)),
+            "double free (or wrong order) at offset {offset:#x} order {order}"
+        );
+        let mut order = order;
+        self.free_bytes += Self::order_bytes(order);
+        loop {
+            if order == MAX_ORDER {
+                break;
+            }
+            let buddy = offset ^ Self::order_bytes(order);
+            if buddy + Self::order_bytes(order) <= self.total_bytes
+                && self.free_lists[order as usize].remove(&buddy)
+            {
+                offset = offset.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free_lists[order as usize].insert(offset);
+    }
+
+    /// Number of free blocks at each order (diagnostics / invariants).
+    pub fn free_counts(&self) -> Vec<usize> {
+        self.free_lists.iter().map(BTreeSet::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut b = BuddyAllocator::new(0, 1 << 20);
+        let before = b.free_bytes();
+        let f = b.alloc(0).unwrap();
+        assert_eq!(b.free_bytes(), before - 4096);
+        b.free(f, 0);
+        assert_eq!(b.free_bytes(), before);
+    }
+
+    #[test]
+    fn split_and_merge_restore_initial_state() {
+        let mut b = BuddyAllocator::new(0, 1 << 23); // 8 MB = one order-11 block
+        assert_eq!(b.free_counts()[MAX_ORDER as usize], 1);
+        let frames: Vec<_> = (0..16).map(|_| b.alloc(0).unwrap()).collect();
+        assert!(b.free_counts()[MAX_ORDER as usize] == 0);
+        for f in frames {
+            b.free(f, 0);
+        }
+        assert_eq!(b.free_counts()[MAX_ORDER as usize], 1, "buddies fully merged");
+    }
+
+    #[test]
+    fn huge_page_allocation_is_aligned() {
+        let mut b = BuddyAllocator::new(0, 16 << 20);
+        let _small = b.alloc(0).unwrap();
+        let huge = b.alloc(9).unwrap(); // 2 MB
+        assert!(huge.is_aligned_to(2 << 20));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = BuddyAllocator::new(0, 8192);
+        assert!(b.alloc(0).is_some());
+        assert!(b.alloc(0).is_some());
+        assert!(b.alloc(0).is_none());
+        assert!(b.alloc(9).is_none());
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut b = BuddyAllocator::new(0x1000_0000, 4 << 20);
+        let mut got = Vec::new();
+        while let Some(f) = b.alloc(1) {
+            got.push(f.as_u64());
+        }
+        got.sort_unstable();
+        for pair in got.windows(2) {
+            assert!(pair[1] - pair[0] >= 8192, "order-1 blocks overlap");
+        }
+        assert_eq!(got.len(), (4 << 20) / 8192);
+    }
+
+    #[test]
+    fn base_offset_respected() {
+        let mut b = BuddyAllocator::new(0x4000_0000, 1 << 20);
+        let f = b.alloc(0).unwrap();
+        assert!(f.as_u64() >= 0x4000_0000);
+        b.free(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(0, 1 << 20);
+        let f = b.alloc(0).unwrap();
+        b.free(f, 0);
+        b.free(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned free")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(0, 1 << 20);
+        let _ = b.alloc(1).unwrap();
+        b.free(PhysAddr::new(4096), 1); // order-1 blocks are 8 KB aligned
+    }
+
+    #[test]
+    fn non_power_of_two_arena_is_fully_usable() {
+        // 12 KB arena = one 8 KB block + one 4 KB block.
+        let mut b = BuddyAllocator::new(0, 12 << 10);
+        assert_eq!(b.free_bytes(), 12 << 10);
+        let a1 = b.alloc(1).unwrap();
+        let a0 = b.alloc(0).unwrap();
+        assert!(b.alloc(0).is_none());
+        b.free(a1, 1);
+        b.free(a0, 0);
+        assert_eq!(b.free_bytes(), 12 << 10);
+    }
+
+    #[test]
+    fn order_for_bytes_rounds_up() {
+        assert_eq!(BuddyAllocator::order_for_bytes(1), 0);
+        assert_eq!(BuddyAllocator::order_for_bytes(4096), 0);
+        assert_eq!(BuddyAllocator::order_for_bytes(4097), 1);
+        assert_eq!(BuddyAllocator::order_for_bytes(2 << 20), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alloc_free_preserves_capacity(ops in prop::collection::vec((0u32..4, any::<bool>()), 1..200)) {
+            let mut b = BuddyAllocator::new(0, 2 << 20);
+            let capacity = b.free_bytes();
+            let mut live: Vec<(PhysAddr, u32)> = Vec::new();
+            for (order, do_alloc) in ops {
+                if do_alloc || live.is_empty() {
+                    if let Some(f) = b.alloc(order) {
+                        live.push((f, order));
+                    }
+                } else {
+                    let (f, o) = live.swap_remove(live.len() / 2);
+                    b.free(f, o);
+                }
+            }
+            let live_bytes: u64 = live.iter().map(|(_, o)| BuddyAllocator::order_bytes(*o)).sum();
+            prop_assert_eq!(b.free_bytes() + live_bytes, capacity);
+            for (f, o) in live.drain(..) {
+                b.free(f, o);
+            }
+            prop_assert_eq!(b.free_bytes(), capacity);
+        }
+
+        #[test]
+        fn prop_no_overlapping_allocations(orders in prop::collection::vec(0u32..5, 1..64)) {
+            let mut b = BuddyAllocator::new(0, 4 << 20);
+            let mut ranges: Vec<(u64, u64)> = Vec::new();
+            for o in orders {
+                if let Some(f) = b.alloc(o) {
+                    let start = f.as_u64();
+                    let end = start + BuddyAllocator::order_bytes(o);
+                    for &(s, e) in &ranges {
+                        prop_assert!(end <= s || start >= e, "overlap [{start:#x},{end:#x}) vs [{s:#x},{e:#x})");
+                    }
+                    ranges.push((start, end));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Kernel same-page merging (KSM).
+//!
+//! The paper lists deduplication as a major CoW consumer (§II-C):
+//! KSM scans madvised areas, merges identical pages into one shared
+//! write-protected page, and relies on CoW to split them again on
+//! write. The scanner here is content-agnostic — the kernel cannot see
+//! simulated memory — so callers supply a page-content fingerprint via
+//! a closure (the full-system simulator hashes real page bytes).
+
+use crate::error::OsError;
+use crate::kernel::{HwAction, Kernel, ProcessId};
+use lelantus_types::{PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// One page advised for merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KsmCandidate {
+    /// Owning process.
+    pub pid: ProcessId,
+    /// Page base virtual address.
+    pub va: VirtAddr,
+}
+
+/// Result of one merge pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KsmReport {
+    /// Pages that were remapped onto an existing twin.
+    pub merged: usize,
+    /// Distinct content classes seen.
+    pub classes: usize,
+    /// Hardware actions emitted by page releases during merging.
+    pub actions: Vec<HwAction>,
+}
+
+/// Runs one KSM scan over `candidates`, merging pages whose
+/// fingerprints match. `fingerprint` receives the page's *physical*
+/// base and must return a stable content hash (identical content ⇒
+/// identical hash).
+///
+/// # Errors
+///
+/// Propagates kernel errors for vanished mappings.
+///
+/// # Examples
+///
+/// See `crates/os/src/ksm.rs` tests and the `process_sandbox` example.
+pub fn merge_pass(
+    kernel: &mut Kernel,
+    candidates: &[KsmCandidate],
+    mut fingerprint: impl FnMut(PhysAddr) -> u64,
+) -> Result<KsmReport, OsError> {
+    let mut report = KsmReport::default();
+    // Content class -> representative physical page.
+    let mut stable: HashMap<u64, PhysAddr> = HashMap::new();
+    for cand in candidates {
+        let Some(pa) = kernel.translate(cand.pid, cand.va) else { continue };
+        let hash = fingerprint(pa);
+        match stable.get(&hash) {
+            None => {
+                stable.insert(hash, pa);
+            }
+            Some(&target) if target == pa => {
+                // Already the representative (e.g. shared via fork).
+            }
+            Some(&target) => {
+                let mut actions = kernel.ksm_remap(cand.pid, cand.va, target)?;
+                report.actions.append(&mut actions);
+                report.merged += 1;
+            }
+        }
+    }
+    report.classes = stable.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CowStrategy, KernelConfig};
+    use crate::kernel::AccessKind;
+    use lelantus_types::PageSize;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig {
+            phys_bytes: 64 << 20,
+            ..KernelConfig::default_with(CowStrategy::Lelantus)
+        })
+    }
+
+    #[test]
+    fn all_identical_pages_collapse_to_one() {
+        let mut k = kernel();
+        let pid = k.spawn_init();
+        let va = k.mmap_anon(pid, 3 * 4096, PageSize::Regular4K).unwrap();
+        for i in 0..3u64 {
+            k.access(pid, va + i * 4096, AccessKind::Write).unwrap();
+        }
+        let free_before = k.free_bytes();
+        let cands: Vec<_> =
+            (0..3u64).map(|i| KsmCandidate { pid, va: va + i * 4096 }).collect();
+        let report = merge_pass(&mut k, &cands, |_| 7).unwrap();
+        assert_eq!(report.merged, 2);
+        assert_eq!(report.classes, 1);
+        assert_eq!(k.free_bytes(), free_before + 2 * 4096, "two frames reclaimed");
+        // All three VAs resolve to one frame.
+        let p0 = k.translate(pid, va).unwrap();
+        assert_eq!(k.translate(pid, va + 4096).unwrap(), p0 + 4096 % 4096);
+        assert_eq!(k.map_count(p0.align_to(4096)), Some(3));
+        // Writing a merged page CoW-faults again.
+        let out = k.access(pid, va + 4096, AccessKind::Write).unwrap();
+        assert!(out.fault.is_some());
+    }
+
+    #[test]
+    fn distinct_pages_do_not_merge() {
+        let mut k = kernel();
+        let pid = k.spawn_init();
+        let va = k.mmap_anon(pid, 2 * 4096, PageSize::Regular4K).unwrap();
+        k.access(pid, va, AccessKind::Write).unwrap();
+        k.access(pid, va + 4096, AccessKind::Write).unwrap();
+        let cands =
+            [KsmCandidate { pid, va }, KsmCandidate { pid, va: va + 4096 }];
+        let report = merge_pass(&mut k, &cands, |pa| pa.as_u64()).unwrap();
+        assert_eq!(report.merged, 0);
+        assert_eq!(report.classes, 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Operating-system memory-management model for the Lelantus
+//! reproduction.
+//!
+//! The paper modifies three Linux v5.0 paths — `copy_user_page` (CoW
+//! fault copies), `do_wp_page` (write-protect fault handling including
+//! early reclamation, Figure 8), and `put_page` (release of shared
+//! pages) — plus the rmap reverse-lookup machinery (Figure 7). This
+//! crate implements the surrounding kernel from scratch:
+//!
+//! * [`frame_alloc`] — a buddy allocator over physical frames,
+//! * [`page_table`] — per-process page tables with 4 KB and 2 MB
+//!   mappings,
+//! * [`vma`] + [`rmap`] — virtual memory areas and the
+//!   `anon_vma`/`anon_vma_chain` reverse-lookup structures,
+//! * [`page_registry`] — per-page kernel state (`mapcount`, CoW
+//!   write-protection, deferred-reuse marker),
+//! * [`kernel`] — the [`Kernel`] façade: `mmap`, `fork`, `exit`,
+//!   demand faults, CoW faults, early reclamation — emitting
+//!   [`HwAction`]s that the full-system simulator turns into memory
+//!   traffic,
+//! * [`ksm`] — kernel same-page merging (deduplication use case,
+//!   paper §II-C).
+//!
+//! The kernel is *policy only*: it never touches simulated memory
+//! itself. Every hardware-visible consequence of a kernel decision is
+//! returned as a [`HwAction`] list, so the same kernel drives the
+//! baseline (full page copies), Silent Shredder (zeroing elision) and
+//! both Lelantus schemes (CoW commands) just by switching
+//! [`CowStrategy`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lelantus_os::{AccessKind, CowStrategy, Kernel, KernelConfig};
+//! use lelantus_types::PageSize;
+//!
+//! let mut k = Kernel::new(KernelConfig::default_with(CowStrategy::Lelantus));
+//! let pid = k.spawn_init();
+//! let va = k.mmap_anon(pid, 1 << 20, PageSize::Regular4K)?;
+//! let (child, _flushes) = k.fork(pid)?;
+//! // First write in the child triggers a CoW fault that emits a
+//! // `page_copy` command instead of a 4 KB copy:
+//! let out = k.access(child, va, AccessKind::Write)?;
+//! assert!(out.fault.is_some());
+//! # Ok::<(), lelantus_os::OsError>(())
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod frame_alloc;
+pub mod kernel;
+pub mod ksm;
+pub mod page_registry;
+pub mod page_table;
+pub mod rmap;
+pub mod vma;
+
+pub use config::{CowStrategy, KernelConfig};
+pub use error::OsError;
+pub use frame_alloc::BuddyAllocator;
+pub use kernel::{AccessKind, AccessOutcome, FaultKind, HwAction, Kernel, ProcessId};
+pub use page_registry::PageRegistry;

@@ -1,0 +1,182 @@
+//! Per-physical-page kernel state (Linux's `struct page` equivalents).
+//!
+//! Tracks, per allocated page: the map count (how many process
+//! mappings reference it), whether it is currently serving as a
+//! write-protected CoW source, and — for Lelantus — the *deferred
+//! reuse* marker from the paper's Figure 8: when a shared page's map
+//! count drops to one, the kernel pauses `wp_page_reuse` /
+//! `page_move_anon_rmap`, so a later write still faults and early
+//! reclamation can run first.
+
+use lelantus_types::{PageSize, PhysAddr};
+use std::collections::HashMap;
+
+/// Kernel bookkeeping for one allocated physical page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageInfo {
+    /// Base physical address.
+    pub base: PhysAddr,
+    /// Page granularity.
+    pub size: PageSize,
+    /// Number of process mappings referencing this page.
+    pub map_count: usize,
+    /// Page is CoW-shared: mapped write-protected so writes fault.
+    pub cow_protected: bool,
+    /// `anon_vma` id used for reverse lookup.
+    pub anon_vma: Option<u64>,
+    /// Lelantus: `wp_page_reuse` was deferred when `map_count` hit one
+    /// (paper Figure 8); the next write fault must run early
+    /// reclamation before unprotecting.
+    pub reuse_deferred: bool,
+}
+
+/// Registry of all allocated pages, keyed by base physical address.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_os::PageRegistry;
+/// use lelantus_types::{PageSize, PhysAddr};
+///
+/// let mut reg = PageRegistry::new();
+/// reg.insert(PhysAddr::new(0x1000), PageSize::Regular4K, None);
+/// reg.inc_map(PhysAddr::new(0x1000));
+/// assert_eq!(reg.get(PhysAddr::new(0x1000)).unwrap().map_count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageRegistry {
+    pages: HashMap<u64, PageInfo>,
+}
+
+impl PageRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fresh page with zero mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already registered.
+    pub fn insert(&mut self, base: PhysAddr, size: PageSize, anon_vma: Option<u64>) {
+        let prev = self.pages.insert(
+            base.as_u64(),
+            PageInfo { base, size, map_count: 0, cow_protected: false, anon_vma, reuse_deferred: false },
+        );
+        assert!(prev.is_none(), "page {base} registered twice");
+    }
+
+    /// Looks up a page.
+    pub fn get(&self, base: PhysAddr) -> Option<&PageInfo> {
+        self.pages.get(&base.as_u64())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, base: PhysAddr) -> Option<&mut PageInfo> {
+        self.pages.get_mut(&base.as_u64())
+    }
+
+    /// Increments the map count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown.
+    pub fn inc_map(&mut self, base: PhysAddr) {
+        self.expect_mut(base).map_count += 1;
+    }
+
+    /// Decrements the map count, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown or already unmapped.
+    pub fn dec_map(&mut self, base: PhysAddr) -> usize {
+        let info = self.expect_mut(base);
+        assert!(info.map_count > 0, "unmapping page {base} with zero map count");
+        info.map_count -= 1;
+        info.map_count
+    }
+
+    /// Removes a page from the registry (frame being freed), returning
+    /// its final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown or still mapped.
+    pub fn remove(&mut self, base: PhysAddr) -> PageInfo {
+        let info = self.pages.remove(&base.as_u64()).expect("removing unknown page");
+        assert_eq!(info.map_count, 0, "freeing page {base} that is still mapped");
+        info
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    fn expect_mut(&mut self, base: PhysAddr) -> &mut PageInfo {
+        self.pages.get_mut(&base.as_u64()).unwrap_or_else(|| panic!("unknown page {base}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut r = PageRegistry::new();
+        let p = PhysAddr::new(0x2000);
+        r.insert(p, PageSize::Regular4K, Some(3));
+        r.inc_map(p);
+        r.inc_map(p);
+        assert_eq!(r.dec_map(p), 1);
+        assert_eq!(r.dec_map(p), 0);
+        let info = r.remove(p);
+        assert_eq!(info.anon_vma, Some(3));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_insert_panics() {
+        let mut r = PageRegistry::new();
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "still mapped")]
+    fn remove_mapped_page_panics() {
+        let mut r = PageRegistry::new();
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+        r.inc_map(PhysAddr::new(0));
+        r.remove(PhysAddr::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero map count")]
+    fn dec_below_zero_panics() {
+        let mut r = PageRegistry::new();
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+        r.dec_map(PhysAddr::new(0));
+    }
+
+    #[test]
+    fn flags_are_mutable() {
+        let mut r = PageRegistry::new();
+        let p = PhysAddr::new(0x4000);
+        r.insert(p, PageSize::Huge2M, None);
+        r.get_mut(p).unwrap().cow_protected = true;
+        r.get_mut(p).unwrap().reuse_deferred = true;
+        let info = r.get(p).unwrap();
+        assert!(info.cow_protected && info.reuse_deferred);
+        assert_eq!(info.size, PageSize::Huge2M);
+    }
+}

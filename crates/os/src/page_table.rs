@@ -1,0 +1,185 @@
+//! Per-process page tables.
+//!
+//! A flat map from page-aligned virtual addresses to PTEs, supporting
+//! both 4 KB and 2 MB mappings. Write-protection lives here: CoW marks
+//! PTEs read-only so stores fault into the kernel (paper §II-C).
+
+use lelantus_types::{PageSize, PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Base physical address of the mapped page.
+    pub pa: PhysAddr,
+    /// Mapping granularity.
+    pub size: PageSize,
+    /// Whether stores are currently permitted.
+    pub writable: bool,
+}
+
+/// The result of a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Translated physical address (byte-accurate).
+    pub pa: PhysAddr,
+    /// The entry that produced it.
+    pub pte: Pte,
+    /// Base virtual address of the page.
+    pub va_base: VirtAddr,
+}
+
+/// A process page table.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_os::page_table::{PageTable, Pte};
+/// use lelantus_types::{PageSize, PhysAddr, VirtAddr};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(VirtAddr::new(0x1000), Pte { pa: PhysAddr::new(0x8000), size: PageSize::Regular4K, writable: true });
+/// let t = pt.translate(VirtAddr::new(0x1234)).unwrap();
+/// assert_eq!(t.pa, PhysAddr::new(0x8234));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the mapping at page-aligned `va_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va_base` is not aligned to the entry's page size.
+    pub fn map(&mut self, va_base: VirtAddr, pte: Pte) {
+        assert!(
+            va_base.is_aligned_to(pte.size.bytes()),
+            "mapping base {va_base} not {}-aligned",
+            pte.size
+        );
+        self.entries.insert(va_base.as_u64(), pte);
+    }
+
+    /// Removes the mapping at `va_base`, returning the old entry.
+    pub fn unmap(&mut self, va_base: VirtAddr) -> Option<Pte> {
+        self.entries.remove(&va_base.as_u64())
+    }
+
+    /// Looks up the PTE covering `va` (probing both page sizes).
+    pub fn entry(&self, va: VirtAddr) -> Option<(VirtAddr, Pte)> {
+        for size in [PageSize::Regular4K, PageSize::Huge2M] {
+            let base = va.align_to(size.bytes());
+            if let Some(pte) = self.entries.get(&base.as_u64()) {
+                if pte.size == size {
+                    return Some((base, *pte));
+                }
+            }
+        }
+        None
+    }
+
+    /// Translates `va` to a physical address.
+    pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
+        let (va_base, pte) = self.entry(va)?;
+        let offset = va - va_base;
+        Some(Translation { pa: pte.pa + offset, pte, va_base })
+    }
+
+    /// Sets the writable bit of the mapping covering `va`; returns the
+    /// previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is unmapped.
+    pub fn set_writable(&mut self, va: VirtAddr, writable: bool) -> bool {
+        let (base, _) = self.entry(va).expect("set_writable on unmapped address");
+        let e = self.entries.get_mut(&base.as_u64()).expect("entry exists");
+        std::mem::replace(&mut e.writable, writable)
+    }
+
+    /// Iterates over `(va_base, pte)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, Pte)> + '_ {
+        self.entries.iter().map(|(va, pte)| (VirtAddr::new(*va), *pte))
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_regular() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x7000),
+            Pte { pa: PhysAddr::new(0x10000), size: PageSize::Regular4K, writable: false },
+        );
+        let t = pt.translate(VirtAddr::new(0x7abc)).unwrap();
+        assert_eq!(t.pa, PhysAddr::new(0x10abc));
+        assert!(!t.pte.writable);
+        assert_eq!(t.va_base, VirtAddr::new(0x7000));
+        assert!(pt.translate(VirtAddr::new(0x8000)).is_none());
+    }
+
+    #[test]
+    fn translate_huge() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            Pte { pa: PhysAddr::new(0x20_0000), size: PageSize::Huge2M, writable: true },
+        );
+        let t = pt.translate(VirtAddr::new(0x4000_0000 + 0x12345)).unwrap();
+        assert_eq!(t.pa, PhysAddr::new(0x20_0000 + 0x12345));
+        assert_eq!(t.pte.size, PageSize::Huge2M);
+    }
+
+    #[test]
+    fn set_writable_flips_bit() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x1000),
+            Pte { pa: PhysAddr::new(0x2000), size: PageSize::Regular4K, writable: true },
+        );
+        assert!(pt.set_writable(VirtAddr::new(0x1800), false));
+        assert!(!pt.translate(VirtAddr::new(0x1800)).unwrap().pte.writable);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x1000),
+            Pte { pa: PhysAddr::new(0x2000), size: PageSize::Regular4K, writable: true },
+        );
+        assert!(pt.unmap(VirtAddr::new(0x1000)).is_some());
+        assert!(pt.translate(VirtAddr::new(0x1000)).is_none());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not 2MB-aligned")]
+    fn misaligned_huge_map_panics() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x1000),
+            Pte { pa: PhysAddr::new(0), size: PageSize::Huge2M, writable: true },
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Reverse mapping (`anon_vma` / `anon_vma_chain`).
+//!
+//! The paper's Figure 7: each original anonymous VMA gets an
+//! `anon_vma` (AV); fork links the child's VMA onto the same AV via an
+//! `anon_vma_chain` (AVC). Starting from a physical page's AV, the
+//! kernel can traverse every forked process's copy of the same VMA —
+//! this is how early reclamation finds candidate *copied* pages whose
+//! metadata may still point at a dying source page (§III-D).
+
+use lelantus_types::VirtAddr;
+use std::collections::HashMap;
+
+/// Identifier of one `anon_vma`.
+pub type AnonVmaId = u64;
+
+/// One chain link: a process's VMA participating in the anon_vma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Owning process.
+    pub pid: u64,
+    /// Start of that process's copy of the VMA.
+    pub vma_start: VirtAddr,
+}
+
+/// Registry of anon_vma chains.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_os::rmap::RmapRegistry;
+/// use lelantus_types::VirtAddr;
+///
+/// let mut rmap = RmapRegistry::new();
+/// let av = rmap.create();
+/// rmap.link(av, 1, VirtAddr::new(0x1000));
+/// rmap.link(av, 2, VirtAddr::new(0x1000)); // forked child
+/// assert_eq!(rmap.links(av).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RmapRegistry {
+    next_id: AnonVmaId,
+    chains: HashMap<AnonVmaId, Vec<ChainLink>>,
+}
+
+impl RmapRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh `anon_vma` (first mapping of a new VMA).
+    pub fn create(&mut self) -> AnonVmaId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.chains.insert(id, Vec::new());
+        id
+    }
+
+    /// Links `(pid, vma_start)` onto `av`'s chain (fork, or first map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `av` is unknown or the link already exists.
+    pub fn link(&mut self, av: AnonVmaId, pid: u64, vma_start: VirtAddr) {
+        let chain = self.chains.get_mut(&av).expect("unknown anon_vma");
+        assert!(
+            !chain.iter().any(|l| l.pid == pid && l.vma_start == vma_start),
+            "duplicate anon_vma_chain link"
+        );
+        chain.push(ChainLink { pid, vma_start });
+    }
+
+    /// Unlinks a process's VMA from the chain (exit / munmap). The
+    /// anon_vma itself persists until [`RmapRegistry::destroy`].
+    pub fn unlink(&mut self, av: AnonVmaId, pid: u64, vma_start: VirtAddr) {
+        if let Some(chain) = self.chains.get_mut(&av) {
+            chain.retain(|l| !(l.pid == pid && l.vma_start == vma_start));
+        }
+    }
+
+    /// All chain links of `av` (empty slice if unknown).
+    pub fn links(&self, av: AnonVmaId) -> &[ChainLink] {
+        self.chains.get(&av).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Destroys an anon_vma once its chain is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if links remain.
+    pub fn destroy(&mut self, av: AnonVmaId) {
+        if let Some(chain) = self.chains.remove(&av) {
+            assert!(chain.is_empty(), "destroying anon_vma with live links");
+        }
+    }
+
+    /// Number of live anon_vmas.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when no anon_vmas exist.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_chain_traversal() {
+        let mut r = RmapRegistry::new();
+        let av = r.create();
+        r.link(av, 1, VirtAddr::new(0x1000));
+        r.link(av, 2, VirtAddr::new(0x1000));
+        r.link(av, 3, VirtAddr::new(0x1000));
+        let pids: Vec<u64> = r.links(av).iter().map(|l| l.pid).collect();
+        assert_eq!(pids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unlink_and_destroy() {
+        let mut r = RmapRegistry::new();
+        let av = r.create();
+        r.link(av, 1, VirtAddr::new(0x1000));
+        r.unlink(av, 1, VirtAddr::new(0x1000));
+        assert!(r.links(av).is_empty());
+        r.destroy(av);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "live links")]
+    fn destroy_with_links_panics() {
+        let mut r = RmapRegistry::new();
+        let av = r.create();
+        r.link(av, 1, VirtAddr::new(0x1000));
+        r.destroy(av);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_link_panics() {
+        let mut r = RmapRegistry::new();
+        let av = r.create();
+        r.link(av, 1, VirtAddr::new(0x1000));
+        r.link(av, 1, VirtAddr::new(0x1000));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut r = RmapRegistry::new();
+        let a = r.create();
+        let b = r.create();
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+}

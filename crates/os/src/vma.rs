@@ -1,0 +1,120 @@
+//! Virtual memory areas.
+
+use lelantus_types::{PageSize, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// One contiguous anonymous mapping in a process address space
+/// (Linux's `vm_area_struct`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// Inclusive start address (page-aligned).
+    pub start: VirtAddr,
+    /// Exclusive end address.
+    pub end: VirtAddr,
+    /// Page granularity backing this area.
+    pub page_size: PageSize,
+    /// Whether stores are permitted (CoW write-protection is per-PTE,
+    /// not per-VMA).
+    pub writable: bool,
+    /// `anon_vma` id for reverse lookup (shared across fork copies).
+    pub anon_vma: u64,
+}
+
+impl Vma {
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for an empty area (never constructed by the kernel).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `va` falls inside the area.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        self.start <= va && va < self.end
+    }
+
+    /// Number of pages spanned.
+    pub fn pages(&self) -> u64 {
+        self.len() / self.page_size.bytes()
+    }
+
+    /// Base virtual address of the page containing `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the area.
+    pub fn page_base(&self, va: VirtAddr) -> VirtAddr {
+        assert!(self.contains(va), "address outside VMA");
+        let off = (va - self.start) / self.page_size.bytes() * self.page_size.bytes();
+        self.start + off
+    }
+
+    /// Page-index of `va` within the area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the area.
+    pub fn page_index(&self, va: VirtAddr) -> u64 {
+        assert!(self.contains(va), "address outside VMA");
+        (va - self.start) / self.page_size.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma() -> Vma {
+        Vma {
+            start: VirtAddr::new(0x10000),
+            end: VirtAddr::new(0x14000),
+            page_size: PageSize::Regular4K,
+            writable: true,
+            anon_vma: 1,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let v = vma();
+        assert_eq!(v.len(), 0x4000);
+        assert_eq!(v.pages(), 4);
+        assert!(!v.is_empty());
+        assert!(v.contains(VirtAddr::new(0x10000)));
+        assert!(v.contains(VirtAddr::new(0x13fff)));
+        assert!(!v.contains(VirtAddr::new(0x14000)));
+    }
+
+    #[test]
+    fn page_base_and_index() {
+        let v = vma();
+        assert_eq!(v.page_base(VirtAddr::new(0x11234)), VirtAddr::new(0x11000));
+        assert_eq!(v.page_index(VirtAddr::new(0x11234)), 1);
+        assert_eq!(v.page_index(VirtAddr::new(0x10000)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside VMA")]
+    fn page_base_outside_panics() {
+        vma().page_base(VirtAddr::new(0x20000));
+    }
+
+    #[test]
+    fn huge_vma() {
+        let v = Vma {
+            start: VirtAddr::new(0x4000_0000),
+            end: VirtAddr::new(0x4000_0000 + 4 * (2 << 20)),
+            page_size: PageSize::Huge2M,
+            writable: true,
+            anon_vma: 2,
+        };
+        assert_eq!(v.pages(), 4);
+        assert_eq!(
+            v.page_base(VirtAddr::new(0x4000_0000 + (3 << 20))),
+            VirtAddr::new(0x4000_0000 + (2 << 20))
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulator configuration.
+
+use crate::tlb::TlbConfig;
+use lelantus_cache::HierarchyConfig;
+use lelantus_core::{ControllerConfig, SchemeKind};
+use lelantus_metadata::counter_cache::WritePolicy;
+use lelantus_os::{CowStrategy, KernelConfig};
+use lelantus_types::PageSize;
+use serde::{Deserialize, Serialize};
+
+/// Full-system configuration.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_sim::SimConfig;
+/// use lelantus_os::CowStrategy;
+/// use lelantus_types::PageSize;
+///
+/// let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Huge2M);
+/// assert_eq!(cfg.kernel.phys_bytes, cfg.controller.data_bytes);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Kernel (OS model) parameters; `strategy` selects the CoW regime.
+    pub kernel: KernelConfig,
+    /// CPU cache hierarchy (Table III defaults).
+    pub caches: HierarchyConfig,
+    /// Secure memory controller + NVM parameters.
+    pub controller: ControllerConfig,
+    /// Default page size for `System::mmap`.
+    pub page_size: PageSize,
+    /// Cycles charged for a page-fault trap (kernel entry/exit, VMA
+    /// lookup, PTE bookkeeping) *excluding* the copy/zero/command work
+    /// that is charged separately. ~600 cycles at 1 GHz, in line with
+    /// gem5 full-system minor-fault costs.
+    pub fault_cost: u64,
+    /// Cycles charged per executed (non-memory) instruction slot.
+    pub op_cost: u64,
+    /// Data-TLB geometry and walk cost.
+    pub tlb: TlbConfig,
+}
+
+/// Maps the kernel-side strategy onto the controller-side scheme.
+pub fn scheme_for(strategy: CowStrategy) -> SchemeKind {
+    match strategy {
+        CowStrategy::Baseline => SchemeKind::Baseline,
+        CowStrategy::SilentShredder => SchemeKind::SilentShredder,
+        CowStrategy::Lelantus => SchemeKind::LelantusResized,
+        CowStrategy::LelantusCow => SchemeKind::LelantusCow,
+    }
+}
+
+impl SimConfig {
+    /// Paper-default system for one scheme and page size.
+    pub fn new(strategy: CowStrategy, page_size: PageSize) -> Self {
+        let kernel = KernelConfig::default_with(strategy);
+        let mut controller = ControllerConfig::for_scheme(scheme_for(strategy));
+        controller.data_bytes = kernel.phys_bytes;
+        Self {
+            kernel,
+            caches: HierarchyConfig::default(),
+            controller,
+            page_size,
+            fault_cost: 600,
+            op_cost: 1,
+            tlb: TlbConfig::default(),
+        }
+    }
+
+    /// Same system with the counter cache in write-through mode
+    /// (Fig 12's comparison axis).
+    pub fn with_counter_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.controller.counter_cache.policy = policy;
+        self
+    }
+
+    /// Disables randomized initial counters (isolates datapath
+    /// behaviour from overflow noise; the paper randomizes them to
+    /// *measure* overflow, §V-A).
+    pub fn with_deterministic_counters(mut self) -> Self {
+        self.controller.randomize_counters = false;
+        self
+    }
+
+    /// Shrinks physical memory (faster tests).
+    pub fn with_phys_bytes(mut self, bytes: u64) -> Self {
+        self.kernel.phys_bytes = bytes;
+        self.controller.data_bytes = bytes;
+        self
+    }
+
+    /// Validates cross-component consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.kernel.validate()?;
+        self.caches.validate()?;
+        self.controller.validate()?;
+        if self.kernel.phys_bytes != self.controller.data_bytes {
+            return Err("kernel and controller must agree on the data area".into());
+        }
+        if scheme_for(self.kernel.strategy) != self.controller.scheme {
+            return Err("kernel strategy and controller scheme mismatch".into());
+        }
+        if self.controller.zero_area_bytes != 2 << 20 {
+            return Err("the kernel reserves exactly one 2 MB zero page".into());
+        }
+        self.tlb.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        for strategy in CowStrategy::all() {
+            for size in PageSize::all() {
+                assert!(SimConfig::new(strategy, size).validate().is_ok(), "{strategy} {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_mapping() {
+        assert_eq!(scheme_for(CowStrategy::Lelantus), SchemeKind::LelantusResized);
+        assert_eq!(scheme_for(CowStrategy::LelantusCow), SchemeKind::LelantusCow);
+        assert_eq!(scheme_for(CowStrategy::Baseline), SchemeKind::Baseline);
+        assert_eq!(scheme_for(CowStrategy::SilentShredder), SchemeKind::SilentShredder);
+    }
+
+    #[test]
+    fn mismatched_configs_rejected() {
+        let mut cfg = SimConfig::new(CowStrategy::Baseline, PageSize::Regular4K);
+        cfg.controller.data_bytes = 128 << 20;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::new(CowStrategy::Baseline, PageSize::Regular4K);
+        cfg.controller.scheme = SchemeKind::LelantusResized;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
+            .with_phys_bytes(32 << 20)
+            .with_counter_write_policy(WritePolicy::WriteThrough);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.kernel.phys_bytes, 32 << 20);
+        assert_eq!(cfg.controller.counter_cache.policy, WritePolicy::WriteThrough);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end metrics snapshot.
+
+use lelantus_cache::HierarchyStats;
+use lelantus_core::ControllerStats;
+use lelantus_metadata::counter_cache::CounterCacheStats;
+use lelantus_metadata::cow_meta::CowCacheStats;
+use lelantus_nvm::NvmStats;
+use lelantus_os::kernel::KernelStats;
+use crate::tlb::TlbStats;
+use lelantus_types::Cycles;
+
+/// Everything the experiment harnesses need, in one snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimMetrics {
+    /// Simulated time elapsed.
+    pub cycles: Cycles,
+    /// Physical NVM traffic.
+    pub nvm: NvmStats,
+    /// Controller events (redirections, commands, overflows...).
+    pub controller: ControllerStats,
+    /// Kernel events (faults, forks...).
+    pub kernel: KernelStats,
+    /// CPU cache statistics.
+    pub caches: HierarchyStats,
+    /// Counter-cache statistics.
+    pub counter_cache: CounterCacheStats,
+    /// CoW-cache statistics (Lelantus-CoW).
+    pub cow_cache: CowCacheStats,
+    /// Data-TLB statistics.
+    pub tlb: TlbStats,
+}
+
+impl SimMetrics {
+    /// Interval metrics: `self - earlier` for the counters and the
+    /// cycle difference.
+    pub fn delta_since(&self, earlier: &SimMetrics) -> SimMetrics {
+        SimMetrics {
+            cycles: self.cycles - earlier.cycles,
+            nvm: self.nvm.delta_since(&earlier.nvm),
+            controller: self.controller.delta_since(&earlier.controller),
+            kernel: KernelStats {
+                cow_faults: self.kernel.cow_faults - earlier.kernel.cow_faults,
+                zero_faults: self.kernel.zero_faults - earlier.kernel.zero_faults,
+                reuse_faults: self.kernel.reuse_faults - earlier.kernel.reuse_faults,
+                early_reclaims: self.kernel.early_reclaims - earlier.kernel.early_reclaims,
+                phyc_cmds: self.kernel.phyc_cmds - earlier.kernel.phyc_cmds,
+                forks: self.kernel.forks - earlier.kernel.forks,
+                pages_allocated: self.kernel.pages_allocated - earlier.kernel.pages_allocated,
+                pages_freed: self.kernel.pages_freed - earlier.kernel.pages_freed,
+            },
+            // Cache stats deltas are rarely needed per interval; carry
+            // the endpoint values.
+            caches: self.caches,
+            counter_cache: self.counter_cache,
+            cow_cache: self.cow_cache,
+            tlb: self.tlb,
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (ratio of cycles).
+    pub fn speedup_vs(&self, baseline: &SimMetrics) -> f64 {
+        if self.cycles.as_u64() == 0 {
+            return 0.0;
+        }
+        baseline.cycles.as_u64() as f64 / self.cycles.as_u64() as f64
+    }
+
+    /// This run's NVM write count as a fraction of `baseline`'s —
+    /// the paper's "number of writes reduced to X %" metric.
+    pub fn write_fraction_vs(&self, baseline: &SimMetrics) -> f64 {
+        if baseline.nvm.line_writes == 0 {
+            return 0.0;
+        }
+        self.nvm.line_writes as f64 / baseline.nvm.line_writes as f64
+    }
+
+    /// Write amplification: physical NVM line writes per logical line
+    /// write (Fig 2's metric).
+    pub fn write_amplification(&self, logical_line_writes: u64) -> f64 {
+        if logical_line_writes == 0 {
+            return 0.0;
+        }
+        self.nvm.line_writes as f64 / logical_line_writes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_fractions() {
+        let base = SimMetrics {
+            cycles: Cycles::new(1000),
+            nvm: NvmStats { line_writes: 200, ..Default::default() },
+            ..Default::default()
+        };
+        let fast = SimMetrics {
+            cycles: Cycles::new(250),
+            nvm: NvmStats { line_writes: 50, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((fast.speedup_vs(&base) - 4.0).abs() < 1e-12);
+        assert!((fast.write_fraction_vs(&base) - 0.25).abs() < 1e-12);
+        assert!((base.write_amplification(100) - 2.0).abs() < 1e-12);
+        assert_eq!(SimMetrics::default().speedup_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let a = SimMetrics { cycles: Cycles::new(100), ..Default::default() };
+        let b = SimMetrics { cycles: Cycles::new(175), ..Default::default() };
+        assert_eq!(b.delta_since(&a).cycles, Cycles::new(75));
+    }
+}

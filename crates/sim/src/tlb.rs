@@ -1,0 +1,398 @@
+//! A two-level TLB model.
+//!
+//! The paper's introduction motivates huge pages on NVM systems partly
+//! through "bookkeeping and translation overheads" — terabyte-class
+//! memories overwhelm 4 KB TLB reach. This module models a typical
+//! two-level data TLB (split 4 KB/2 MB L1, unified L2) plus a fixed
+//! page-walk cost, so the reproduction exhibits the translation side
+//! of the regular-vs-huge trade-off, not only the CoW side.
+//!
+//! Entries are tagged with the owning process (ASID); any
+//! page-table mutation (fork write-protection, CoW remap, KSM merge,
+//! exit) must invalidate affected entries — the [`crate::System`]
+//! wrapper performs those shootdowns.
+
+use lelantus_types::{PageSize, PhysAddr, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 entries for 4 KB pages (typical: 64).
+    pub l1_entries_4k: usize,
+    /// L1 entries for 2 MB pages (typical: 32).
+    pub l1_entries_2m: usize,
+    /// Unified L2 entries (typical: 1536).
+    pub l2_entries: usize,
+    /// Extra cycles for an L1-miss/L2-hit translation.
+    pub l2_latency: u64,
+    /// Cycles for a full page walk (four cached table accesses).
+    pub walk_cycles: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self { l1_entries_4k: 64, l1_entries_2m: 32, l2_entries: 1536, l2_latency: 8, walk_cycles: 100 }
+    }
+}
+
+impl TlbConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.l1_entries_4k == 0 || self.l1_entries_2m == 0 || self.l2_entries == 0 {
+            return Err("TLB levels need at least one entry".into());
+        }
+        Ok(())
+    }
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Physical base of the page.
+    pub pa_base: PhysAddr,
+    /// Page granularity.
+    pub size: PageSize,
+    /// Whether stores are permitted through this entry.
+    pub writable: bool,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses).
+    pub l2_hits: u64,
+    /// Full page walks.
+    pub walks: u64,
+    /// Entries invalidated by shootdowns.
+    pub shootdowns: u64,
+}
+
+impl TlbStats {
+    /// Walk rate per lookup, in [0, 1].
+    pub fn walk_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.walks;
+        if total == 0 {
+            0.0
+        } else {
+            self.walks as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a lookup: where it hit and the extra cycles charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// L1 hit (free — overlapped with the L1 cache access).
+    HitL1(TlbEntry),
+    /// L2 hit.
+    HitL2(TlbEntry),
+    /// Miss: the caller must walk the page table and
+    /// [`Tlb::fill`] the result.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    pid: u64,
+    vpn: u64,
+    size_2m: bool,
+}
+
+/// One fully-associative LRU level (a HashMap with tick-based LRU; TLB
+/// levels are small enough that associativity conflicts are a
+/// second-order effect next to capacity).
+#[derive(Debug, Default)]
+struct Level {
+    entries: HashMap<Key, (TlbEntry, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl Level {
+    fn new(capacity: usize) -> Self {
+        Self { entries: HashMap::new(), capacity, tick: 0 }
+    }
+
+    fn get(&mut self, key: Key) -> Option<TlbEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(e, lru)| {
+            *lru = tick;
+            *e
+        })
+    }
+
+    fn insert(&mut self, key: Key, entry: TlbEntry) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = (entry, tick);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, lru))| *lru) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (entry, tick));
+    }
+
+    fn remove(&mut self, key: Key) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&Key) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| keep(k));
+        before - self.entries.len()
+    }
+}
+
+/// The two-level data TLB.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_sim::tlb::{Tlb, TlbConfig, TlbEntry, TlbOutcome};
+/// use lelantus_types::{PageSize, PhysAddr, VirtAddr};
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// let va = VirtAddr::new(0x7000_0000);
+/// assert_eq!(tlb.lookup(1, va), TlbOutcome::Miss);
+/// tlb.fill(1, va, TlbEntry { pa_base: PhysAddr::new(0x20_0000), size: PageSize::Regular4K, writable: true });
+/// assert!(matches!(tlb.lookup(1, va), TlbOutcome::HitL1(_)));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    l1_4k: Level,
+    l1_2m: Level,
+    l2: Level,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds a TLB from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: TlbConfig) -> Self {
+        config.validate().expect("invalid TLB config");
+        Self {
+            l1_4k: Level::new(config.l1_entries_4k),
+            l1_2m: Level::new(config.l1_entries_2m),
+            l2: Level::new(config.l2_entries),
+            config,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn keys_for(pid: u64, va: VirtAddr) -> [Key; 2] {
+        [
+            Key { pid, vpn: va.as_u64() / PageSize::Regular4K.bytes(), size_2m: false },
+            Key { pid, vpn: va.as_u64() / PageSize::Huge2M.bytes(), size_2m: true },
+        ]
+    }
+
+    /// Looks up the translation of `(pid, va)`.
+    pub fn lookup(&mut self, pid: u64, va: VirtAddr) -> TlbOutcome {
+        let [k4, k2] = Self::keys_for(pid, va);
+        if let Some(e) = self.l1_4k.get(k4) {
+            self.stats.l1_hits += 1;
+            return TlbOutcome::HitL1(e);
+        }
+        if let Some(e) = self.l1_2m.get(k2) {
+            self.stats.l1_hits += 1;
+            return TlbOutcome::HitL1(e);
+        }
+        for key in [k4, k2] {
+            if let Some(e) = self.l2.get(key) {
+                self.stats.l2_hits += 1;
+                // Promote to the right L1.
+                if key.size_2m {
+                    self.l1_2m.insert(key, e);
+                } else {
+                    self.l1_4k.insert(key, e);
+                }
+                return TlbOutcome::HitL2(e);
+            }
+        }
+        self.stats.walks += 1;
+        TlbOutcome::Miss
+    }
+
+    /// Installs the result of a page walk.
+    pub fn fill(&mut self, pid: u64, va: VirtAddr, entry: TlbEntry) {
+        let key = Key {
+            pid,
+            vpn: va.as_u64() / entry.size.bytes(),
+            size_2m: entry.size == PageSize::Huge2M,
+        };
+        match entry.size {
+            PageSize::Regular4K => self.l1_4k.insert(key, entry),
+            PageSize::Huge2M => self.l1_2m.insert(key, entry),
+        }
+        self.l2.insert(key, entry);
+    }
+
+    /// Invalidates the entry covering `(pid, va)` (single-page
+    /// shootdown after a PTE change).
+    pub fn invalidate_page(&mut self, pid: u64, va: VirtAddr) {
+        for key in Self::keys_for(pid, va) {
+            let mut removed = false;
+            removed |= if key.size_2m { self.l1_2m.remove(key) } else { self.l1_4k.remove(key) };
+            removed |= self.l2.remove(key);
+            if removed {
+                self.stats.shootdowns += 1;
+            }
+        }
+    }
+
+    /// Invalidates every entry of `pid` (exit / large remap).
+    pub fn invalidate_pid(&mut self, pid: u64) {
+        let mut n = 0;
+        n += self.l1_4k.retain(|k| k.pid != pid);
+        n += self.l1_2m.retain(|k| k.pid != pid);
+        n += self.l2.retain(|k| k.pid != pid);
+        self.stats.shootdowns += n as u64;
+    }
+
+    /// Full flush (fork-time write-protection changes every PTE).
+    pub fn flush_all(&mut self) {
+        let mut n = 0;
+        n += self.l1_4k.retain(|_| false);
+        n += self.l1_2m.retain(|_| false);
+        n += self.l2.retain(|_| false);
+        self.stats.shootdowns += n as u64;
+    }
+
+    /// Extra cycles for an outcome (L1 hits are free, overlapped with
+    /// the cache lookup).
+    pub fn charge(&self, outcome: &TlbOutcome) -> u64 {
+        match outcome {
+            TlbOutcome::HitL1(_) => 0,
+            TlbOutcome::HitL2(_) => self.config.l2_latency,
+            TlbOutcome::Miss => self.config.walk_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pa: u64, size: PageSize, writable: bool) -> TlbEntry {
+        TlbEntry { pa_base: PhysAddr::new(pa), size, writable }
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = Tlb::new(TlbConfig::default());
+        let va = VirtAddr::new(0x1000);
+        assert_eq!(t.lookup(1, va), TlbOutcome::Miss);
+        t.fill(1, va, entry(0x20_0000, PageSize::Regular4K, true));
+        match t.lookup(1, va) {
+            TlbOutcome::HitL1(e) => {
+                assert_eq!(e.pa_base, PhysAddr::new(0x20_0000));
+                assert!(e.writable);
+            }
+            other => panic!("expected L1 hit, got {other:?}"),
+        }
+        // Same page, different offset still hits.
+        assert!(matches!(t.lookup(1, VirtAddr::new(0x1abc)), TlbOutcome::HitL1(_)));
+        // Different page misses.
+        assert_eq!(t.lookup(1, VirtAddr::new(0x2000)), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn asid_separation() {
+        let mut t = Tlb::new(TlbConfig::default());
+        let va = VirtAddr::new(0x1000);
+        t.fill(1, va, entry(0x20_0000, PageSize::Regular4K, true));
+        assert_eq!(t.lookup(2, va), TlbOutcome::Miss, "other pid must not hit");
+    }
+
+    #[test]
+    fn huge_entries_cover_2mb() {
+        let mut t = Tlb::new(TlbConfig::default());
+        let va = VirtAddr::new(0x4000_0000);
+        t.fill(1, va, entry(0x20_0000, PageSize::Huge2M, true));
+        assert!(matches!(t.lookup(1, VirtAddr::new(0x401f_ffff)), TlbOutcome::HitL1(_)));
+        assert_eq!(t.lookup(1, VirtAddr::new(0x4020_0000)), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn l1_capacity_spills_to_l2() {
+        let mut t = Tlb::new(TlbConfig { l1_entries_4k: 2, l2_entries: 64, ..TlbConfig::default() });
+        for i in 0..4u64 {
+            t.fill(1, VirtAddr::new(i * 4096), entry(i * 4096, PageSize::Regular4K, true));
+        }
+        // Oldest L1 entries evicted, but L2 still holds them.
+        let out = t.lookup(1, VirtAddr::new(0));
+        assert!(matches!(out, TlbOutcome::HitL2(_)), "{out:?}");
+        assert_eq!(t.stats().l2_hits, 1);
+        // The L2 hit promoted it back to L1.
+        assert!(matches!(t.lookup(1, VirtAddr::new(0)), TlbOutcome::HitL1(_)));
+    }
+
+    #[test]
+    fn shootdowns() {
+        let mut t = Tlb::new(TlbConfig::default());
+        let va = VirtAddr::new(0x1000);
+        t.fill(1, va, entry(0x20_0000, PageSize::Regular4K, false));
+        t.invalidate_page(1, va);
+        assert_eq!(t.lookup(1, va), TlbOutcome::Miss);
+        assert!(t.stats().shootdowns >= 1);
+
+        t.fill(1, va, entry(0x20_0000, PageSize::Regular4K, true));
+        t.fill(2, va, entry(0x30_0000, PageSize::Regular4K, true));
+        t.invalidate_pid(1);
+        assert_eq!(t.lookup(1, va), TlbOutcome::Miss);
+        assert!(matches!(t.lookup(2, va), TlbOutcome::HitL1(_)));
+
+        t.flush_all();
+        assert_eq!(t.lookup(2, va), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn charges() {
+        let t = Tlb::new(TlbConfig::default());
+        let e = entry(0, PageSize::Regular4K, true);
+        assert_eq!(t.charge(&TlbOutcome::HitL1(e)), 0);
+        assert_eq!(t.charge(&TlbOutcome::HitL2(e)), 8);
+        assert_eq!(t.charge(&TlbOutcome::Miss), 100);
+    }
+
+    #[test]
+    fn walk_rate() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.lookup(1, VirtAddr::new(0)); // miss
+        t.fill(1, VirtAddr::new(0), entry(0, PageSize::Regular4K, true));
+        t.lookup(1, VirtAddr::new(0)); // hit
+        assert!((t.stats().walk_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_panics() {
+        assert!(TlbConfig { l1_entries_4k: 0, ..TlbConfig::default() }.validate().is_err());
+    }
+}

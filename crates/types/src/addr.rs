@@ -1,0 +1,180 @@
+//! Physical and virtual byte-address newtypes.
+//!
+//! Keeping the two address spaces as distinct types prevents the
+//! classic simulator bug of handing a virtual address to the memory
+//! controller (which must only ever see physical addresses — all of
+//! Lelantus' CoW metadata is keyed by *physical* page, paper §III-A).
+
+use crate::{LINE_BYTES, REGION_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+                 Serialize, Deserialize)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw byte address.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw byte address.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Rounds down to the containing 64-byte line.
+            pub const fn line_align(self) -> Self {
+                Self(self.0 & !(LINE_BYTES as u64 - 1))
+            }
+
+            /// Byte offset within the containing 64-byte line.
+            pub const fn line_offset(self) -> usize {
+                (self.0 & (LINE_BYTES as u64 - 1)) as usize
+            }
+
+            /// Index of the containing line within its 4 KB region.
+            pub const fn line_in_region(self) -> usize {
+                ((self.0 % REGION_BYTES) / LINE_BYTES as u64) as usize
+            }
+
+            /// Rounds down to the containing 4 KB counter region.
+            pub const fn region_align(self) -> Self {
+                Self(self.0 & !(REGION_BYTES - 1))
+            }
+
+            /// Rounds down to the given page-size boundary.
+            pub const fn align_to(self, bytes: u64) -> Self {
+                Self(self.0 & !(bytes - 1))
+            }
+
+            /// True if aligned to `bytes` (a power of two).
+            pub const fn is_aligned_to(self, bytes: u64) -> bool {
+                self.0 & (bytes - 1) == 0
+            }
+
+            /// Address advanced by `delta` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics on address-space overflow.
+            pub fn checked_add(self, delta: u64) -> Self {
+                Self(self.0.checked_add(delta).expect("address overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A physical byte address in the simulated NVM.
+    PhysAddr
+}
+
+addr_newtype! {
+    /// A virtual byte address within one simulated process.
+    VirtAddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.line_align(), PhysAddr::new(0x1200));
+        assert_eq!(a.line_offset(), 0x34);
+        assert!(a.line_align().is_aligned_to(64));
+    }
+
+    #[test]
+    fn region_helpers() {
+        let a = PhysAddr::new(0x2345);
+        assert_eq!(a.region_align(), PhysAddr::new(0x2000));
+        assert_eq!(a.line_in_region(), (0x345 / 64) as usize);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VirtAddr::new(0x1000);
+        assert_eq!((a + 0x40).as_u64(), 0x1040);
+        assert_eq!((a + 0x40) - a, 0x40);
+        let mut b = a;
+        b += 64;
+        assert_eq!(b.as_u64(), 0x1040);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:?}", PhysAddr::new(16)), "PhysAddr(0x10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow")]
+    fn checked_add_overflow_panics() {
+        let _ = PhysAddr::new(u64::MAX).checked_add(1);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: PhysAddr = 0x80u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0x80);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated-time newtype.
+//!
+//! The paper's system (Table III) runs an 8-core 1 GHz processor, so
+//! one core cycle equals one nanosecond; NVM latencies (60 ns read,
+//! 150 ns write) convert to cycles with no scaling. All simulator
+//! components account time in [`Cycles`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration or instant measured in 1 GHz core cycles (= nanoseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+         Serialize, Deserialize)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw cycle count.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Equivalent nanoseconds at the 1 GHz clock.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Saturating difference (useful for "time until" computations).
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(50);
+        assert_eq!(a + b, Cycles::new(150));
+        assert_eq!(a - b, Cycles::new(50));
+        assert_eq!(b * 3, Cycles::new(150));
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)].into_iter().sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(total.to_string(), "6 cyc");
+        assert_eq!(total.as_nanos(), 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Page-size definitions.
+//!
+//! The paper evaluates 4 KB regular pages and 2 MB huge pages
+//! (Table III). A 2 MB huge page spans 512 counter *regions* of 4 KB —
+//! the kernel translates huge-page operations into per-region commands
+//! (paper §IV-C) — and 32 768 cachelines.
+
+use crate::{LINE_BYTES, REGION_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Page granularity managed by the simulated OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// A 4 KB base page.
+    Regular4K,
+    /// A 2 MB huge page.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Regular4K => 4096,
+            PageSize::Huge2M => 2 * 1024 * 1024,
+        }
+    }
+
+    /// Number of 64-byte cachelines in the page.
+    pub const fn lines(self) -> usize {
+        (self.bytes() as usize) / LINE_BYTES
+    }
+
+    /// Number of 4 KB counter regions the page spans.
+    pub const fn regions(self) -> usize {
+        (self.bytes() / REGION_BYTES) as usize
+    }
+
+    /// Both supported sizes, in ascending order.
+    pub const fn all() -> [PageSize; 2] {
+        [PageSize::Regular4K, PageSize::Huge2M]
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Regular4K => write!(f, "4KB"),
+            PageSize::Huge2M => write!(f, "2MB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(PageSize::Regular4K.bytes(), 4096);
+        assert_eq!(PageSize::Regular4K.lines(), 64);
+        assert_eq!(PageSize::Regular4K.regions(), 1);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Huge2M.lines(), 32768);
+        assert_eq!(PageSize::Huge2M.regions(), 512);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageSize::Regular4K.to_string(), "4KB");
+        assert_eq!(PageSize::Huge2M.to_string(), "2MB");
+    }
+}

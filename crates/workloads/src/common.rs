@@ -1,0 +1,148 @@
+//! Shared helpers for workload generators.
+
+use lelantus_os::kernel::ProcessId;
+use lelantus_os::OsError;
+use lelantus_sim::System;
+use lelantus_types::{PageSize, VirtAddr, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Updates `bytes` bytes of the page at `page_va`, spread uniformly
+/// across its cachelines — the paper's forkbench update pattern
+/// (§V-D: "make all the writes in the child process evenly
+/// distributed").
+///
+/// With `bytes <= lines`, one byte lands on each of `bytes` evenly
+/// spaced lines; beyond that, lines fill up uniformly.
+///
+/// Returns the number of line-granularity writes issued.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn update_spread(
+    sys: &mut System,
+    pid: ProcessId,
+    page_va: VirtAddr,
+    page_size: PageSize,
+    bytes: u64,
+    tag: u8,
+) -> Result<u64, OsError> {
+    let lines = page_size.lines() as u64;
+    let bytes = bytes.min(page_size.bytes());
+    if bytes == 0 {
+        return Ok(0);
+    }
+    if bytes <= lines {
+        // One byte on each of `bytes` evenly spaced lines.
+        let stride = lines / bytes;
+        for i in 0..bytes {
+            let line = i * stride;
+            sys.write_bytes(pid, page_va + line * LINE_BYTES as u64, &[tag])?;
+        }
+        Ok(bytes)
+    } else {
+        // Every line is touched; spread the remaining bytes evenly.
+        let per_line = bytes / lines;
+        let chunk = vec![tag; per_line.min(LINE_BYTES as u64) as usize];
+        for line in 0..lines {
+            sys.write_bytes(pid, page_va + line * LINE_BYTES as u64, &chunk)?;
+        }
+        Ok(lines)
+    }
+}
+
+/// Writes every line of `[va, va+len)` once (bulk initialization).
+/// Returns the number of line writes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn init_all_lines(
+    sys: &mut System,
+    pid: ProcessId,
+    va: VirtAddr,
+    len: u64,
+    tag: u8,
+) -> Result<u64, OsError> {
+    sys.write_pattern(pid, va, len as usize, tag)?;
+    Ok(len / LINE_BYTES as u64)
+}
+
+/// A zipfian-ish hot/cold access address generator: 80 % of accesses
+/// hit the hot fifth of the area (database/compiler locality).
+pub fn skewed_offset(r: &mut StdRng, area_len: u64) -> u64 {
+    let hot = area_len / 5;
+    let offset = if r.gen_bool(0.8) {
+        r.gen_range(0..hot.max(1))
+    } else {
+        r.gen_range(hot.max(1)..area_len.max(2))
+    };
+    offset & !(LINE_BYTES as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lelantus_os::CowStrategy;
+    use lelantus_sim::SimConfig;
+
+    fn sys() -> System {
+        System::new(
+            SimConfig::new(CowStrategy::Baseline, PageSize::Regular4K).with_phys_bytes(32 << 20),
+        )
+    }
+
+    #[test]
+    fn spread_update_touches_expected_lines() {
+        let mut s = sys();
+        let pid = s.spawn_init();
+        let va = s.mmap(pid, 4096).unwrap();
+        let n = update_spread(&mut s, pid, va, PageSize::Regular4K, 8, 0xEE).unwrap();
+        assert_eq!(n, 8);
+        // Lines 0, 8, 16, ... hold the tag; others are zero.
+        assert_eq!(s.read_bytes(pid, va, 1).unwrap(), vec![0xEE]);
+        assert_eq!(s.read_bytes(pid, va + 8 * 64, 1).unwrap(), vec![0xEE]);
+        assert_eq!(s.read_bytes(pid, va + 64, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn spread_update_whole_page() {
+        let mut s = sys();
+        let pid = s.spawn_init();
+        let va = s.mmap(pid, 4096).unwrap();
+        let n = update_spread(&mut s, pid, va, PageSize::Regular4K, 4096, 1).unwrap();
+        assert_eq!(n, 64, "all 64 lines written");
+        assert_eq!(s.read_bytes(pid, va + 63 * 64, 64).unwrap(), vec![1; 64]);
+    }
+
+    #[test]
+    fn spread_update_zero_bytes_is_noop() {
+        let mut s = sys();
+        let pid = s.spawn_init();
+        let va = s.mmap(pid, 4096).unwrap();
+        assert_eq!(update_spread(&mut s, pid, va, PageSize::Regular4K, 0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn skewed_offsets_are_line_aligned_and_bounded() {
+        let mut r = rng(7);
+        for _ in 0..1000 {
+            let off = skewed_offset(&mut r, 1 << 20);
+            assert_eq!(off % 64, 0);
+            assert!(off < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u64 = rng(42).gen();
+        let b: u64 = rng(42).gen();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Endurance and persistence: the two NVM properties the paper's whole
+//! motivation rests on, demonstrated end to end.
+//!
+//! Part 1 runs a fork-heavy phase under the baseline and Lelantus and
+//! compares device lifetime consumption (writes, worst-region wear,
+//! energy). Part 2 pulls the plug mid-run and shows the secure
+//! controller recovering its integrity-verified state, including lazy
+//! CoW mappings.
+//!
+//! Run with: `cargo run --release --example endurance_and_recovery`
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::PageSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Part 1 — lifetime: 64 snapshot/update rounds over 1 MB\n");
+    const ENDURANCE: u64 = 10_000_000; // writes per cell, PCM-class
+
+    for strategy in [CowStrategy::Baseline, CowStrategy::Lelantus] {
+        let mut sys = System::new(SimConfig::new(strategy, PageSize::Regular4K));
+        let pid = sys.spawn_init();
+        let va = sys.mmap(pid, 1 << 20)?;
+        sys.write_pattern(pid, va, 1 << 20, 0xAA)?;
+        for round in 0..64u64 {
+            // Snapshot (fork), mutate a few lines, retire the snapshot.
+            let snap = sys.fork(pid)?;
+            for p in 0..8u64 {
+                sys.write_bytes(pid, va + ((round * 31 + p * 17) % 256) * 4096, &[round as u8])?;
+            }
+            sys.exit(snap)?;
+        }
+        sys.finish();
+        let m = sys.metrics();
+        let wear = sys.controller().wear();
+        println!(
+            "{strategy:>12}: {:>7} NVM writes | worst region {:>5} writes \
+             ({:.4}% of endurance) | {:.3} mJ",
+            m.nvm.line_writes,
+            wear.max_region_writes(),
+            wear.worst_case_wear_fraction(ENDURANCE) * 100.0,
+            m.nvm.energy_mj(),
+        );
+    }
+
+    println!("\nPart 2 — persistence: crash in the middle of snapshot traffic\n");
+    let mut sys = System::new(SimConfig::new(CowStrategy::LelantusCow, PageSize::Regular4K));
+    let pid = sys.spawn_init();
+    let va = sys.mmap(pid, 256 << 10)?;
+    sys.write_pattern(pid, va, 256 << 10, 0xDB)?;
+    let snap = sys.fork(pid)?;
+    sys.write_bytes(pid, va, b"committed")?; // CoW break
+    sys.finish(); // persist barrier (PMDK-style)
+    sys.write_bytes(pid, va + 4096, b"in-flight")?; // NOT flushed
+
+    println!("...power failure...");
+    let report = sys.crash_and_recover()?;
+    println!(
+        "recovered: {} counter blocks re-verified against the persisted Merkle root, \
+         {} lazy CoW mappings restored from NVM",
+        report.regions_verified, report.cow_mappings_recovered
+    );
+
+    assert_eq!(sys.read_bytes(pid, va, 9)?, b"committed".to_vec());
+    assert_eq!(sys.read_bytes(snap, va, 1)?, vec![0xDB], "snapshot view intact");
+    // The in-flight write died in the CPU cache; its page's persisted
+    // metadata still marks the line uncopied, so the read redirects to
+    // the pre-fork source — a clean rollback to the snapshot value.
+    assert_eq!(
+        sys.read_bytes(pid, va + 4096, 9)?,
+        vec![0xDB; 9],
+        "unflushed write must roll back to the pre-fork contents"
+    );
+    println!(
+        "committed data intact, snapshot isolation preserved, and the unflushed\n\
+         write rolled back to its pre-fork value — lazy-copy metadata made the\n\
+         crash look like the write never happened."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: fork a process, break a CoW page, and watch Lelantus
+//! replace a 4 KB copy with one metadata update.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::PageSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Lelantus quickstart: one CoW break under two schemes\n");
+
+    for strategy in [CowStrategy::Baseline, CowStrategy::Lelantus] {
+        // Boot a full system: kernel + caches + secure NVM controller.
+        let mut sys = System::new(SimConfig::new(strategy, PageSize::Regular4K));
+        let parent = sys.spawn_init();
+
+        // Allocate and fill one page.
+        let va = sys.mmap(parent, 4096)?;
+        sys.write_pattern(parent, va, 4096, 0xAB)?;
+
+        // Fork: parent and child now share the page copy-on-write.
+        let child = sys.fork(parent)?;
+
+        // Measure the parent's first write after the fork — the CoW
+        // break the paper is about.
+        sys.finish();
+        let before = sys.metrics();
+        sys.write_bytes(parent, va, b"hello")?;
+        sys.finish();
+        let delta = sys.metrics().delta_since(&before);
+
+        println!("{strategy:>12}: first write took {:>6} cycles, {:>3} NVM line writes",
+            delta.cycles.as_u64(), delta.nvm.line_writes);
+
+        // Semantics are identical either way: the child still sees the
+        // pre-fork data, the parent sees its own write.
+        assert_eq!(sys.read_bytes(child, va, 5)?, vec![0xAB; 5]);
+        assert_eq!(sys.read_bytes(parent, va, 5)?, b"hello".to_vec());
+    }
+
+    println!("\nSame semantics, a fraction of the writes: that is Lelantus.");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Redis-style background snapshot (the paper's §II-C / §V-B use case).
+//!
+//! An in-memory store forks a persister child (`BGSAVE`); the parent
+//! keeps serving SETs, each of which breaks a CoW page while the child
+//! walks the frozen dataset. This example runs the scenario under all
+//! four schemes and reports the SET-phase cost.
+//!
+//! Run with: `cargo run --release --example redis_snapshot`
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::PageSize;
+
+const PAIRS: u64 = 8_000;
+const VALUE: usize = 64;
+const SETS: u64 = 2_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Redis snapshot: {PAIRS} keys, {SETS} SETs during BGSAVE\n");
+    println!("{:>14}  {:>12}  {:>12}  {:>10}", "scheme", "cycles", "NVM writes", "CoW faults");
+
+    let mut baseline_cycles = 0u64;
+    for strategy in CowStrategy::all() {
+        let mut sys = System::new(SimConfig::new(strategy, PageSize::Regular4K));
+        let server = sys.spawn_init();
+        let base = sys.mmap(server, PAIRS * VALUE as u64)?;
+        sys.write_pattern(server, base, (PAIRS * VALUE as u64) as usize, 0xDB)?;
+
+        // BGSAVE: fork the persister.
+        let persister = sys.fork(server)?;
+
+        sys.finish();
+        let before = sys.metrics();
+        // Parent serves SETs on a striding key pattern while the child
+        // scans and persists the frozen view.
+        let mut scan = 0u64;
+        for i in 0..SETS {
+            let key = (i * 37) % PAIRS;
+            sys.write_bytes(server, base + key * VALUE as u64, &[i as u8; VALUE])?;
+            // Child persists a chunk between requests.
+            let take = (PAIRS * VALUE as u64 / SETS).max(64);
+            if scan + take <= PAIRS * VALUE as u64 {
+                let bytes = sys.read_bytes(persister, base + scan, take as usize)?;
+                // Snapshot consistency: the persister must only ever see
+                // the pre-fork value pattern.
+                assert!(bytes.iter().all(|&b| b == 0xDB), "snapshot leaked a post-fork SET");
+                scan += take;
+            }
+        }
+        sys.exit(persister)?;
+        sys.finish();
+        let delta = sys.metrics().delta_since(&before);
+
+        if strategy == CowStrategy::Baseline {
+            baseline_cycles = delta.cycles.as_u64();
+        }
+        let speedup = baseline_cycles as f64 / delta.cycles.as_u64() as f64;
+        println!(
+            "{:>14}  {:>12}  {:>12}  {:>10}   ({speedup:.2}x)",
+            strategy.to_string(),
+            delta.cycles.as_u64(),
+            delta.nvm.line_writes,
+            delta.kernel.cow_faults,
+        );
+    }
+    println!("\nEvery scheme preserved snapshot isolation; Lelantus did it without");
+    println!("paying a page of writes per SET.");
+    Ok(())
+}

@@ -1,0 +1,292 @@
+//! `lelantus` — command-line experiment runner.
+//!
+//! ```console
+//! $ lelantus list
+//! $ lelantus run --workload forkbench --scheme lelantus --pages 2m
+//! $ lelantus compare --workload redis --pages 4k --json
+//! ```
+//!
+//! `run` executes one workload on one scheme and prints its metrics;
+//! `compare` runs all four schemes and reports speedups and write
+//! reductions against the baseline (a single Fig 9 column).
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, SimMetrics, System};
+use lelantus::types::PageSize;
+use lelantus::workloads::{
+    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, hotspot::Hotspot,
+    mariadbwl::Mariadb, noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const WORKLOADS: &[&str] =
+    &["boot", "compile", "forkbench", "redis", "mariadb", "shell", "non-copy", "hotspot"];
+const SCHEMES: &[&str] = &["baseline", "silent-shredder", "lelantus", "lelantus-cow"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  lelantus list
+  lelantus run     --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale small|medium|paper] [--json]
+  lelantus compare --workload <name> [--pages 4k|2m] [--scale ...] [--json]
+
+workloads: {}
+schemes:   {} (default: lelantus)",
+        WORKLOADS.join(", "),
+        SCHEMES.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        if key == "json" {
+            flags.insert("json".into(), "true".into());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{key} needs a value"));
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn scheme_of(name: &str) -> Option<CowStrategy> {
+    match name {
+        "baseline" => Some(CowStrategy::Baseline),
+        "silent-shredder" | "ss" => Some(CowStrategy::SilentShredder),
+        "lelantus" => Some(CowStrategy::Lelantus),
+        "lelantus-cow" | "cow" => Some(CowStrategy::LelantusCow),
+        _ => None,
+    }
+}
+
+fn pages_of(name: &str) -> Option<PageSize> {
+    match name {
+        "4k" | "4K" | "4kb" => Some(PageSize::Regular4K),
+        "2m" | "2M" | "2mb" => Some(PageSize::Huge2M),
+        _ => None,
+    }
+}
+
+fn workload_of(name: &str, scale: &str) -> Option<Box<dyn Workload>> {
+    let small = scale == "small";
+    let paper = scale == "paper";
+    Some(match name {
+        "boot" => {
+            if small {
+                Box::new(Boot::small())
+            } else if paper {
+                Box::new(Boot::default())
+            } else {
+                Box::new(Boot { services: 16, shared_bytes: 1 << 20, ..Boot::default() })
+            }
+        }
+        "compile" => {
+            if small {
+                Box::new(Compile::small())
+            } else if paper {
+                Box::new(Compile::default())
+            } else {
+                Box::new(Compile { heap_bytes: 6 << 20, rewrite_ops: 12_000, ..Compile::default() })
+            }
+        }
+        "forkbench" => {
+            let total = if small {
+                2 << 20
+            } else if paper {
+                16 << 20
+            } else {
+                4 << 20
+            };
+            Box::new(Forkbench { total_bytes: total, bytes_per_page: None })
+        }
+        "redis" => {
+            if small {
+                Box::new(Redis::small())
+            } else if paper {
+                Box::new(Redis::default())
+            } else {
+                Box::new(Redis { pairs: 20_000, operations: 4_000, ..Redis::default() })
+            }
+        }
+        "mariadb" => {
+            if small {
+                Box::new(Mariadb::small())
+            } else if paper {
+                Box::new(Mariadb::default())
+            } else {
+                Box::new(Mariadb { buffer_pool_bytes: 4 << 20, rows: 24_000, ..Mariadb::default() })
+            }
+        }
+        "shell" => {
+            if small {
+                Box::new(Shell::small())
+            } else if paper {
+                Box::new(Shell::default())
+            } else {
+                Box::new(Shell { directories: 24, ..Shell::default() })
+            }
+        }
+        "non-copy" | "noncopy" => {
+            Box::new(NonCopy { total_bytes: if small { 1 << 20 } else { 4 << 20 } })
+        }
+        "hotspot" => Box::new(if small { Hotspot::small() } else { Hotspot::default() }),
+        _ => return None,
+    })
+}
+
+fn run_one(workload: &dyn Workload, strategy: CowStrategy, pages: PageSize) -> WorkloadRun {
+    let mut sys = System::new(SimConfig::new(strategy, pages));
+    workload.run(&mut sys).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn print_metrics_text(label: &str, m: &SimMetrics) {
+    println!("{label}");
+    println!("  cycles              {}", m.cycles.as_u64());
+    println!("  nvm line writes     {}", m.nvm.line_writes);
+    println!("  nvm line reads      {}", m.nvm.line_reads);
+    println!("  cow faults          {}", m.kernel.cow_faults);
+    println!("  redirected reads    {}", m.controller.redirected_reads);
+    println!("  implicit copies     {}", m.controller.implicit_copies);
+    println!("  page_copy cmds      {}", m.controller.cmd_page_copy);
+    println!("  page_phyc cmds      {}", m.controller.cmd_page_phyc);
+    println!("  counter overflows   {}", m.controller.minor_overflows);
+    println!("  tlb walks           {}", m.tlb.walks);
+}
+
+fn json_metrics(m: &SimMetrics) -> String {
+    format!(
+        concat!(
+            "{{\"cycles\":{},\"nvm_writes\":{},\"nvm_reads\":{},\"cow_faults\":{},",
+            "\"redirected_reads\":{},\"implicit_copies\":{},\"page_copy\":{},",
+            "\"page_phyc\":{},\"overflows\":{},\"tlb_walks\":{}}}"
+        ),
+        m.cycles.as_u64(),
+        m.nvm.line_writes,
+        m.nvm.line_reads,
+        m.kernel.cow_faults,
+        m.controller.redirected_reads,
+        m.controller.implicit_copies,
+        m.controller.cmd_page_copy,
+        m.controller.cmd_page_phyc,
+        m.controller.minor_overflows,
+        m.tlb.walks,
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "list" => {
+            println!("workloads: {}", WORKLOADS.join(", "));
+            println!("schemes:   {}", SCHEMES.join(", "));
+            println!("pages:     4k, 2m");
+            println!("scales:    small, medium, paper");
+            ExitCode::SUCCESS
+        }
+        "run" | "compare" => {
+            let flags = match parse_flags(&args[1..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
+            let Some(wl_name) = flags.get("workload") else {
+                eprintln!("error: --workload is required");
+                return usage();
+            };
+            let Some(workload) = workload_of(wl_name, scale) else {
+                eprintln!("error: unknown workload `{wl_name}`");
+                return usage();
+            };
+            let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k"))
+            else {
+                eprintln!("error: bad --pages");
+                return usage();
+            };
+            let json = flags.contains_key("json");
+            if command == "run" {
+                let Some(strategy) =
+                    scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+                else {
+                    eprintln!("error: bad --scheme");
+                    return usage();
+                };
+                let run = run_one(workload.as_ref(), strategy, pages);
+                if json {
+                    println!(
+                        "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"metrics\":{}}}",
+                        workload.name(),
+                        json_metrics(&run.measured)
+                    );
+                } else {
+                    print_metrics_text(
+                        &format!("{} / {strategy} / {pages} pages", workload.name()),
+                        &run.measured,
+                    );
+                }
+            } else {
+                let base = run_one(workload.as_ref(), CowStrategy::Baseline, pages);
+                let mut rows = Vec::new();
+                for strategy in CowStrategy::all() {
+                    let run = if strategy == CowStrategy::Baseline {
+                        base.measured
+                    } else {
+                        run_one(workload.as_ref(), strategy, pages).measured
+                    };
+                    rows.push((
+                        strategy.to_string(),
+                        run.cycles.as_u64(),
+                        run.speedup_vs(&base.measured),
+                        run.nvm.line_writes,
+                        run.write_fraction_vs(&base.measured),
+                    ));
+                }
+                if json {
+                    let body: Vec<String> = rows
+                        .iter()
+                        .map(|(s, c, sp, w, wf)| {
+                            format!(
+                                "{{\"scheme\":\"{s}\",\"cycles\":{c},\"speedup\":{sp:.4},\"nvm_writes\":{w},\"write_fraction\":{wf:.4}}}"
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "{{\"workload\":\"{}\",\"pages\":\"{pages}\",\"schemes\":[{}]}}",
+                        workload.name(),
+                        body.join(",")
+                    );
+                } else {
+                    println!("{} / {pages} pages", workload.name());
+                    println!(
+                        "{:>16}  {:>12}  {:>8}  {:>12}  {:>8}",
+                        "scheme", "cycles", "speedup", "NVM writes", "writes%"
+                    );
+                    for (s, c, sp, w, wf) in rows {
+                        println!(
+                            "{s:>16}  {c:>12}  {:>8}  {w:>12}  {:>8}",
+                            format!("{sp:.2}x"),
+                            format!("{:.1}%", wf * 100.0)
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,28 @@
+//! # Lelantus — fine-granularity copy-on-write for secure NVMs
+//!
+//! Umbrella crate for the reproduction of *"Lelantus: Fine-Granularity
+//! Copy-On-Write Operations for Secure Non-Volatile Memories"* (ISCA
+//! 2020). It re-exports every subsystem crate so applications and the
+//! examples can depend on a single crate:
+//!
+//! * [`types`] — shared address/page/cycle newtypes,
+//! * [`crypto`] — AES-128 counter-mode encryption, SipHash, Merkle tree,
+//! * [`nvm`] — the NVM device timing model,
+//! * [`cache`] — the L1/L2/L3 cache hierarchy,
+//! * [`metadata`] — split-counter security metadata and caches,
+//! * [`os`] — the kernel memory-management model (fork, CoW, rmap),
+//! * [`core`] — the secure memory controller and the CoW schemes,
+//! * [`sim`] — the full-system simulator,
+//! * [`workloads`] — the paper's benchmark workload generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture.
+
+pub use lelantus_cache as cache;
+pub use lelantus_core as core;
+pub use lelantus_crypto as crypto;
+pub use lelantus_metadata as metadata;
+pub use lelantus_nvm as nvm;
+pub use lelantus_os as os;
+pub use lelantus_sim as sim;
+pub use lelantus_types as types;
+pub use lelantus_workloads as workloads;

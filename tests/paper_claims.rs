@@ -1,0 +1,166 @@
+//! Shape-level assertions of the paper's headline results, end to end.
+//!
+//! These do not check absolute numbers (our substrate is a simulator,
+//! not the authors' gem5 testbed) but the *relations* the evaluation
+//! establishes: who wins, in which direction, and where the knees are.
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::PageSize;
+use lelantus_workloads::forkbench::Forkbench;
+use lelantus_workloads::noncopy::NonCopy;
+use lelantus_workloads::{Workload, WorkloadRun};
+
+fn run(wl: &dyn Workload, strategy: CowStrategy, page: PageSize) -> WorkloadRun {
+    let mut sys = System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
+    wl.run(&mut sys).unwrap()
+}
+
+fn forkbench(_page: PageSize, bytes_per_page: Option<u64>) -> Forkbench {
+    Forkbench { total_bytes: 4 << 20, bytes_per_page }
+}
+
+#[test]
+fn fig9_shape_lelantus_beats_silent_shredder_beats_nothing_on_forkbench() {
+    let page = PageSize::Regular4K;
+    let wl = forkbench(page, None);
+    let base = run(&wl, CowStrategy::Baseline, page);
+    let ss = run(&wl, CowStrategy::SilentShredder, page);
+    let lel = run(&wl, CowStrategy::Lelantus, page);
+    let cow = run(&wl, CowStrategy::LelantusCow, page);
+    // Silent Shredder barely helps forkbench (copies dominate, paper
+    // §V-C: "a small percentage of CoW operations").
+    let ss_speedup = ss.measured.speedup_vs(&base.measured);
+    let lel_speedup = lel.measured.speedup_vs(&base.measured);
+    let cow_speedup = cow.measured.speedup_vs(&base.measured);
+    assert!(ss_speedup < 1.15, "SS speedup {ss_speedup:.2} should be marginal");
+    assert!(lel_speedup > ss_speedup + 0.1, "Lelantus {lel_speedup:.2} must clearly beat SS");
+    assert!(
+        (lel_speedup - cow_speedup).abs() / lel_speedup < 0.25,
+        "the two Lelantus schemes should be close: {lel_speedup:.2} vs {cow_speedup:.2}"
+    );
+}
+
+#[test]
+fn fig9_shape_huge_pages_magnify_speedups() {
+    let wl4k = forkbench(PageSize::Regular4K, None);
+    let wl2m = forkbench(PageSize::Huge2M, None);
+    let s4k = run(&wl4k, CowStrategy::Lelantus, PageSize::Regular4K)
+        .measured
+        .speedup_vs(&run(&wl4k, CowStrategy::Baseline, PageSize::Regular4K).measured);
+    let s2m = run(&wl2m, CowStrategy::Lelantus, PageSize::Huge2M)
+        .measured
+        .speedup_vs(&run(&wl2m, CowStrategy::Baseline, PageSize::Huge2M).measured);
+    assert!(
+        s2m > s4k * 2.0,
+        "huge pages must magnify the win (paper: 2.25x -> 10.57x): got {s4k:.2} vs {s2m:.2}"
+    );
+}
+
+#[test]
+fn fig11_shape_speedup_decays_with_update_size_and_has_a_knee() {
+    let page = PageSize::Regular4K;
+    let mut speedups = Vec::new();
+    for bytes in [1u64, 32, 64, 1024, 4096] {
+        let wl = forkbench(page, Some(bytes));
+        let base = run(&wl, CowStrategy::Baseline, page);
+        let lel = run(&wl, CowStrategy::Lelantus, page);
+        speedups.push((bytes, lel.measured.speedup_vs(&base.measured)));
+    }
+    // Monotone non-increasing (allowing tiny noise).
+    for w in speedups.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 * 1.1,
+            "speedup should decay with update size: {speedups:?}"
+        );
+    }
+    let first = speedups[0].1;
+    let last = speedups.last().unwrap().1;
+    assert!(first > 2.0, "1B/page speedup should be large: {first:.2} ({speedups:?})");
+    assert!(last < 1.5, "whole-page speedup approaches 1.1x: {last:.2}");
+    // The knee: beyond 64 updated bytes (= 64 lines) every line is
+    // dirtied, so 1024 and 4096 bytes perform nearly alike.
+    let s1024 = speedups[3].1;
+    let s4096 = speedups[4].1;
+    assert!(
+        (s1024 - s4096).abs() / s1024 < 0.2,
+        "past the knee the curve flattens: {s1024:.2} vs {s4096:.2}"
+    );
+}
+
+#[test]
+fn fig11_shape_write_reduction_tracks_unwritten_lines() {
+    let page = PageSize::Regular4K;
+    let wl_one = forkbench(page, Some(1));
+    let wl_all = forkbench(page, Some(4096));
+    let frac_one = run(&wl_one, CowStrategy::Lelantus, page)
+        .measured
+        .write_fraction_vs(&run(&wl_one, CowStrategy::Baseline, page).measured);
+    let frac_all = run(&wl_all, CowStrategy::Lelantus, page)
+        .measured
+        .write_fraction_vs(&run(&wl_all, CowStrategy::Baseline, page).measured);
+    assert!(frac_one < 0.25, "1B/page: writes collapse (paper 14.14%): {frac_one:.3}");
+    assert!(frac_all > frac_one, "whole-page rewrites cannot save as much");
+    assert!(frac_all < 0.8, "but still beat copy-then-write (paper 53.45%): {frac_all:.3}");
+}
+
+#[test]
+fn noncopy_probe_shows_no_regression() {
+    let page = PageSize::Regular4K;
+    let wl = NonCopy { total_bytes: 2 << 20 };
+    let runs: Vec<u64> = CowStrategy::all()
+        .iter()
+        .map(|s| {
+            let mut sys = System::new(
+                SimConfig::new(*s, page).with_phys_bytes(64 << 20).with_deterministic_counters(),
+            );
+            wl.run(&mut sys).unwrap().measured.cycles.as_u64()
+        })
+        .collect();
+    let max = *runs.iter().max().unwrap() as f64;
+    let min = *runs.iter().min().unwrap() as f64;
+    assert!(max / min < 1.05, "non-copy must be scheme-neutral: {runs:?}");
+}
+
+#[test]
+fn write_endurance_improves_with_lelantus() {
+    // Fewer writes = longer lifetime; check through the wear tracker.
+    let page = PageSize::Regular4K;
+    let wl = forkbench(page, Some(32));
+    let wear = |strategy| {
+        let mut sys = System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
+        wl.run(&mut sys).unwrap();
+        let w = sys.controller().wear();
+        (w.total_line_writes(), w.max_region_writes())
+    };
+    let (base_total, base_max) = wear(CowStrategy::Baseline);
+    let (lel_total, lel_max) = wear(CowStrategy::Lelantus);
+    assert!(lel_total < base_total);
+    assert!(lel_max <= base_max, "worst-region wear must not worsen");
+}
+
+#[test]
+fn fork_first_write_latency_shape() {
+    // Fig 11's headline: the first-write latency gap is the product.
+    for page in PageSize::all() {
+        let first_write_cost = |strategy| {
+            let mut sys =
+                System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
+            let pid = sys.spawn_init();
+            let va = sys.mmap(pid, page.bytes()).unwrap();
+            sys.write_pattern(pid, va, page.bytes() as usize, 5).unwrap();
+            let _child = sys.fork(pid).unwrap();
+            let t0 = sys.now();
+            sys.write_bytes(pid, va, &[1]).unwrap();
+            (sys.now() - t0).as_u64()
+        };
+        let base = first_write_cost(CowStrategy::Baseline);
+        let lel = first_write_cost(CowStrategy::Lelantus);
+        let min_gap = match page {
+            PageSize::Regular4K => 1.5,
+            PageSize::Huge2M => 15.0,
+        };
+        let gap = base as f64 / lel as f64;
+        assert!(gap > min_gap, "{page}: first-write gap {gap:.1}x too small");
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end equivalence: the paper's central correctness claim is
+//! that Lelantus "preserves the software semantics and provides the
+//! same guarantees of data content as if initialization/copying has
+//! been done conventionally" (§I). These tests run whole fork/write
+//! scenarios through the full system (kernel + caches + controller +
+//! NVM) under all four schemes and require bit-identical views.
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::{PageSize, VirtAddr};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn systems(page: PageSize) -> Vec<System> {
+    CowStrategy::all()
+        .iter()
+        .map(|s| System::new(SimConfig::new(*s, page).with_phys_bytes(64 << 20)))
+        .collect()
+}
+
+/// Applies one closure to every system and asserts all results match
+/// the baseline's.
+fn all_agree<T: PartialEq + std::fmt::Debug>(
+    systems: &mut [System],
+    mut f: impl FnMut(&mut System) -> T,
+) -> T {
+    let expect = f(&mut systems[0]);
+    for sys in systems[1..].iter_mut() {
+        let got = f(sys);
+        assert_eq!(got, expect, "scheme {} diverged", sys.config().kernel.strategy);
+    }
+    expect
+}
+
+#[test]
+fn fork_tree_with_interleaved_writes_agrees() {
+    for page in PageSize::all() {
+        let mut group = systems(page);
+        let len = page.bytes() * 2;
+        let (pid, va) = {
+            let mut ids = Vec::new();
+            for sys in &mut group {
+                let pid = sys.spawn_init();
+                let va = sys.mmap(pid, len).unwrap();
+                sys.write_pattern(pid, va, len as usize, 0x11).unwrap();
+                ids.push((pid, va));
+            }
+            assert!(ids.windows(2).all(|w| w[0] == w[1]), "deterministic ids");
+            ids[0]
+        };
+        // parent -> c1 -> c2; writes at every level.
+        let c1 = all_agree(&mut group, |s| s.fork(pid).unwrap());
+        all_agree(&mut group, |s| s.write_bytes(pid, va + 64, b"parent").unwrap());
+        let c2 = all_agree(&mut group, |s| s.fork(c1).unwrap());
+        all_agree(&mut group, |s| s.write_bytes(c1, va + 128, b"child1").unwrap());
+        all_agree(&mut group, |s| s.write_bytes(c2, va + 192, b"child2").unwrap());
+
+        for reader in [pid, c1, c2] {
+            for offset in [0u64, 64, 128, 192, page.bytes()] {
+                all_agree(&mut group, |s| s.read_bytes(reader, va + offset, 16).unwrap());
+            }
+        }
+        // Exits in awkward order (source dies before copies).
+        all_agree(&mut group, |s| s.exit(pid).unwrap());
+        for reader in [c1, c2] {
+            for offset in [0u64, 64, 128, 192] {
+                all_agree(&mut group, |s| s.read_bytes(reader, va + offset, 16).unwrap());
+            }
+        }
+        all_agree(&mut group, |s| s.exit(c1).unwrap());
+        all_agree(&mut group, |s| s.read_bytes(c2, va + 192, 16).unwrap());
+    }
+}
+
+#[test]
+fn randomized_scenarios_agree() {
+    // Deterministic pseudo-random fork/write/read/exit storms.
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut group = systems(PageSize::Regular4K);
+        let mut pids = Vec::new();
+        let root = all_agree(&mut group, |s| s.spawn_init());
+        let va = all_agree(&mut group, |s| s.mmap(root, 64 << 10).unwrap());
+        pids.push(root);
+        for _ in 0..60 {
+            match rng.gen_range(0..10) {
+                0..=1 if pids.len() < 6 => {
+                    let parent = pids[rng.gen_range(0..pids.len())];
+                    let child = all_agree(&mut group, |s| s.fork(parent).unwrap());
+                    pids.push(child);
+                }
+                2 if pids.len() > 1 => {
+                    let victim = pids.swap_remove(rng.gen_range(1..pids.len()));
+                    all_agree(&mut group, |s| s.exit(victim).unwrap());
+                }
+                3..=6 => {
+                    let pid = pids[rng.gen_range(0..pids.len())];
+                    let off = rng.gen_range(0..(64 << 10) - 8) & !7u64;
+                    let val = rng.gen::<u8>();
+                    all_agree(&mut group, |s| s.write_bytes(pid, va + off, &[val; 8]).unwrap());
+                }
+                _ => {
+                    let pid = pids[rng.gen_range(0..pids.len())];
+                    let off = rng.gen_range(0..(64 << 10) - 8) & !7u64;
+                    all_agree(&mut group, |s| s.read_bytes(pid, va + off, 8).unwrap());
+                }
+            }
+        }
+        // Final full sweep must agree everywhere for every process.
+        for pid in pids {
+            for off in (0..(64u64 << 10)).step_by(4096) {
+                all_agree(&mut group, |s| s.read_bytes(pid, va + off, 8).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn huge_and_regular_pages_mix_in_one_process() {
+    let mut group = systems(PageSize::Regular4K);
+    let pid = all_agree(&mut group, |s| s.spawn_init());
+    let small = all_agree(&mut group, |s| s.mmap_with(pid, 16 << 10, PageSize::Regular4K).unwrap());
+    let huge = all_agree(&mut group, |s| s.mmap_with(pid, 2 << 20, PageSize::Huge2M).unwrap());
+    all_agree(&mut group, |s| s.write_bytes(pid, small, b"small").unwrap());
+    all_agree(&mut group, |s| s.write_bytes(pid, huge + 12345, b"huge").unwrap());
+    let child = all_agree(&mut group, |s| s.fork(pid).unwrap());
+    all_agree(&mut group, |s| s.write_bytes(pid, huge + 12345, b"HUGE").unwrap());
+    all_agree(&mut group, |s| s.read_bytes(child, huge + 12345, 4).unwrap());
+    all_agree(&mut group, |s| s.read_bytes(pid, huge + 12345, 4).unwrap());
+    all_agree(&mut group, |s| s.read_bytes(child, small, 5).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_full_system_equivalence(ops in prop::collection::vec(
+        (0u8..4, 0u64..16, any::<u8>()), 1..50))
+    {
+        let mut group = systems(PageSize::Regular4K);
+        let root = all_agree(&mut group, |s| s.spawn_init());
+        let va = all_agree(&mut group, |s| s.mmap(root, 16 * 4096).unwrap());
+        let mut child: Option<u64> = None;
+        for (op, pg, val) in ops {
+            let target: VirtAddr = va + pg * 4096;
+            match op {
+                0 => {
+                    all_agree(&mut group, |s| s.write_bytes(root, target, &[val; 4]).unwrap());
+                }
+                1 => {
+                    if let Some(c) = child {
+                        all_agree(&mut group, |s| s.write_bytes(c, target, &[val; 4]).unwrap());
+                    } else {
+                        child = Some(all_agree(&mut group, |s| s.fork(root).unwrap()));
+                    }
+                }
+                2 => {
+                    all_agree(&mut group, |s| s.read_bytes(root, target, 4).unwrap());
+                }
+                _ => {
+                    if let Some(c) = child {
+                        all_agree(&mut group, |s| s.read_bytes(c, target, 4).unwrap());
+                    }
+                }
+            }
+        }
+        for pg in 0..16u64 {
+            all_agree(&mut group, |s| s.read_bytes(root, va + pg * 4096, 8).unwrap());
+            if let Some(c) = child {
+                all_agree(&mut group, |s| s.read_bytes(c, va + pg * 4096, 8).unwrap());
+            }
+        }
+    }
+}

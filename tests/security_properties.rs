@@ -1,0 +1,130 @@
+//! End-to-end security properties of the secure-NVM substrate
+//! (paper §II-B, §III-F): data at rest is ciphertext, counters are
+//! integrity-protected, and pads never repeat across epochs.
+
+use lelantus::core::{ControllerConfig, SchemeKind, SecureMemoryController};
+use lelantus::os::CowStrategy;
+use lelantus::sim::{SimConfig, System};
+use lelantus::types::{Cycles, PageSize, PhysAddr};
+
+const ZERO: Cycles = Cycles::ZERO;
+
+fn ctrl(scheme: SchemeKind) -> SecureMemoryController {
+    SecureMemoryController::new(ControllerConfig {
+        data_bytes: 16 << 20,
+        ..ControllerConfig::for_scheme(scheme)
+    })
+}
+
+fn data_addr(n: u64) -> PhysAddr {
+    PhysAddr::new((2 << 20) + n * 64)
+}
+
+#[test]
+fn nvm_never_holds_plaintext() {
+    // Write a recognizable pattern through the full system and assert
+    // it cannot be found anywhere in the raw NVM contents.
+    let mut sys = System::new(
+        SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K).with_phys_bytes(32 << 20),
+    );
+    let pid = sys.spawn_init();
+    let va = sys.mmap(pid, 4096).unwrap();
+    let secret = *b"TOP-SECRET-DATA!";
+    sys.write_bytes(pid, va, &secret).unwrap();
+    sys.finish();
+    let pa = sys.kernel().translate(pid, va).unwrap();
+    // Plain readback through the datapath works...
+    assert_eq!(sys.read_bytes(pid, va, 16).unwrap(), secret.to_vec());
+    // ...while the bytes at rest are unrelated ciphertext.
+    let raw = sys.controller().peek_raw_line(pa);
+    assert_ne!(&raw[..16], &secret[..], "plaintext must never be at rest in NVM");
+}
+
+#[test]
+fn same_plaintext_different_lines_differ_in_nvm() {
+    let mut c = ctrl(SchemeKind::Baseline);
+    c.write_data_line(data_addr(0), [0x42; 64], ZERO);
+    c.write_data_line(data_addr(1), [0x42; 64], ZERO);
+    c.flush_all(ZERO);
+    // Spatial uniqueness: identical plaintext, different ciphertext.
+    let raw0 = c.peek_raw_line(data_addr(0));
+    let raw1 = c.peek_raw_line(data_addr(1));
+    assert_ne!(raw0, [0x42; 64]);
+    assert_ne!(raw1, [0x42; 64]);
+    assert_ne!(raw0, raw1, "same data at different addresses must differ at rest");
+    assert_eq!(c.read_data_line(data_addr(0), ZERO).0, [0x42; 64]);
+    assert_eq!(c.read_data_line(data_addr(1), ZERO).0, [0x42; 64]);
+}
+
+#[test]
+fn rewriting_same_value_advances_the_counter() {
+    let mut c = ctrl(SchemeKind::Baseline);
+    let before = c.stats().minor_increments;
+    c.write_data_line(data_addr(0), [7; 64], ZERO);
+    c.flush_all(ZERO);
+    let raw_first = c.peek_raw_line(data_addr(0));
+    c.write_data_line(data_addr(0), [7; 64], ZERO);
+    c.flush_all(ZERO);
+    let raw_second = c.peek_raw_line(data_addr(0));
+    assert_eq!(c.stats().minor_increments, before + 2, "temporal uniqueness per write");
+    assert_ne!(raw_first, raw_second, "rewriting the same value re-encrypts differently");
+}
+
+#[test]
+#[should_panic(expected = "integrity violation")]
+fn counter_rollback_is_detected_end_to_end() {
+    let mut c = ctrl(SchemeKind::LelantusCow);
+    c.write_data_line(data_addr(0), [1; 64], ZERO);
+    c.flush_all(ZERO);
+    c.tamper_counter_for_test(data_addr(0));
+    let _ = c.read_data_line(data_addr(0), ZERO);
+}
+
+#[test]
+fn page_init_shreds_old_secrets() {
+    // Silent Shredder's original purpose: zeroing counters makes the
+    // old ciphertext unreadable (data remanence defence).
+    let mut c = ctrl(SchemeKind::SilentShredder);
+    let page = PhysAddr::new(4 << 20);
+    c.write_data_line(page, [0x99; 64], ZERO);
+    c.cmd_page_init(page, ZERO);
+    assert_eq!(c.read_data_line(page, ZERO).0, [0; 64], "secret is gone");
+}
+
+#[test]
+fn cow_metadata_tampering_is_detected() {
+    // The CoW source address lives inside the integrity-protected
+    // counter block (Solution 1), so flipping it trips the tree.
+    let mut c = ctrl(SchemeKind::LelantusResized);
+    let src = PhysAddr::new(4 << 20);
+    let dst = PhysAddr::new(5 << 20);
+    c.write_data_line(src, [3; 64], ZERO);
+    c.cmd_page_copy(src, dst, ZERO);
+    c.flush_all(ZERO);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c.tamper_counter_for_test(dst);
+        c.read_data_line(dst, ZERO)
+    }));
+    assert!(result.is_err(), "tampered CoW metadata must not decrypt quietly");
+}
+
+#[test]
+fn fresh_epoch_after_overflow_keeps_old_pads_dead() {
+    // After a region re-encryption the major counter advances; old
+    // (minor, major) pairs never recur, so pad reuse cannot happen.
+    let mut c = SecureMemoryController::new(ControllerConfig {
+        data_bytes: 16 << 20,
+        randomize_counters: false,
+        ..ControllerConfig::for_scheme(SchemeKind::LelantusResized)
+    });
+    let src = PhysAddr::new(4 << 20);
+    let dst = PhysAddr::new(5 << 20);
+    c.write_data_line(src, [1; 64], ZERO);
+    c.cmd_page_copy(src, dst, ZERO);
+    for i in 0..130u64 {
+        c.write_data_line(dst, [i as u8; 64], ZERO);
+    }
+    assert!(c.stats().minor_overflows >= 1);
+    assert_eq!(c.read_data_line(dst, ZERO).0, [129; 64]);
+    assert_eq!(c.read_data_line(src, ZERO).0, [1; 64]);
+}
