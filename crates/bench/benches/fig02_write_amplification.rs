@@ -6,46 +6,61 @@
 //! baseline. Reported metric: physical NVM line writes per logical
 //! line write. Expected shape: huge pages amplify catastrophically on
 //! first writes (the whole 2 MB is copied for one byte); whole-page
-//! updates amplify by ~2× (copy then write).
+//! updates amplify by ~2× (copy then write). The four cases run in
+//! parallel via `run_cells`.
 
-use lelantus_bench::{fmt_x, print_table, run_workload, Scale};
+use lelantus_bench::results::{timed_emit, Record};
+use lelantus_bench::{fmt_x, print_table, run_cells, run_workload, Scale};
 use lelantus_os::CowStrategy;
 use lelantus_types::PageSize;
 use lelantus_workloads::forkbench::Forkbench;
 
 fn main() {
     let scale = Scale::from_env();
-    let cases: [(&str, PageSize, Option<u64>); 4] = [
-        ("4KB (1B per page)", PageSize::Regular4K, Some(1)),
-        ("4KB (whole page)", PageSize::Regular4K, None),
-        ("2MB (1B per page)", PageSize::Huge2M, Some(1)),
-        ("2MB (whole page)", PageSize::Huge2M, None),
-    ];
-    let mut rows = Vec::new();
-    for (label, page, bytes) in cases {
-        let wl = Forkbench {
-            total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
-            bytes_per_page: bytes.or(Some(page.bytes())),
-        };
-        let run = run_workload(&wl, CowStrategy::Baseline, page);
-        let amp = run.measured.write_amplification(run.logical_line_writes);
-        rows.push(vec![
-            label.to_string(),
-            run.logical_line_writes.to_string(),
-            run.measured.nvm.line_writes.to_string(),
-            fmt_x(amp),
-        ]);
-    }
-    print_table(
-        "Figure 2: CoW write amplification (baseline)",
-        &["case [page (update)]", "logical line writes", "physical NVM writes", "amplification"],
-        &rows,
-    );
-    println!(
-        "\npaper (Fig 2): first-write amplification ~7.07x (4KB) and ~477.96x (2MB);\n\
-         whole-page amplification 1.87x (4KB) and 1.97x (2MB). The simulator counts\n\
-         the full page copy against the single logical write, so absolute 1B-per-page\n\
-         factors are higher here; the shape (2MB >> 4KB >> whole-page ~2x) is what\n\
-         the experiment demonstrates. See EXPERIMENTS.md."
-    );
+    timed_emit("fig02_write_amplification", || {
+        let cases: [(&str, PageSize, Option<u64>); 4] = [
+            ("4KB (1B per page)", PageSize::Regular4K, Some(1)),
+            ("4KB (whole page)", PageSize::Regular4K, None),
+            ("2MB (1B per page)", PageSize::Huge2M, Some(1)),
+            ("2MB (whole page)", PageSize::Huge2M, None),
+        ];
+        let runs = run_cells(cases.len(), |i| {
+            let (_, page, bytes) = cases[i];
+            let wl = Forkbench {
+                total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
+                bytes_per_page: bytes.or(Some(page.bytes())),
+            };
+            run_workload(&wl, CowStrategy::Baseline, page)
+        });
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        for ((label, _, _), run) in cases.iter().zip(&runs) {
+            let amp = run.measured.write_amplification(run.logical_line_writes);
+            rows.push(vec![
+                label.to_string(),
+                run.logical_line_writes.to_string(),
+                run.measured.nvm.line_writes.to_string(),
+                fmt_x(amp),
+            ]);
+            records.push(Record::with_scheme(
+                format!("write_amplification/{label}"),
+                "Baseline",
+                amp,
+                "x",
+            ));
+        }
+        print_table(
+            "Figure 2: CoW write amplification (baseline)",
+            &["case [page (update)]", "logical line writes", "physical NVM writes", "amplification"],
+            &rows,
+        );
+        println!(
+            "\npaper (Fig 2): first-write amplification ~7.07x (4KB) and ~477.96x (2MB);\n\
+             whole-page amplification 1.87x (4KB) and 1.97x (2MB). The simulator counts\n\
+             the full page copy against the single logical write, so absolute 1B-per-page\n\
+             factors are higher here; the shape (2MB >> 4KB >> whole-page ~2x) is what\n\
+             the experiment demonstrates. See EXPERIMENTS.md."
+        );
+        records
+    });
 }

@@ -12,7 +12,6 @@ use lelantus_os::CowStrategy;
 use lelantus_sim::{SimConfig, System};
 use lelantus_types::PageSize;
 use lelantus_workloads::hotspot::Hotspot;
-use lelantus_workloads::Workload;
 
 fn main() {
     let scale = Scale::from_env();

@@ -7,8 +7,12 @@
 //! where updated bytes reach the line count of the page — beyond it
 //! every line is written anyway and the lazy copy saves only the
 //! read-side, converging toward ~1.1x.
+//!
+//! The sweep's (point × scheme) simulations run in parallel via
+//! `run_cells`.
 
-use lelantus_bench::{fmt_pct, fmt_x, print_table, run_workload, Scale};
+use lelantus_bench::results::{timed_emit, Record};
+use lelantus_bench::{fmt_pct, fmt_x, print_table, run_cells, run_workload, Scale};
 use lelantus_os::CowStrategy;
 use lelantus_types::PageSize;
 use lelantus_workloads::forkbench::Forkbench;
@@ -24,40 +28,58 @@ fn sweep_points(page: PageSize) -> Vec<u64> {
 
 fn main() {
     let scale = Scale::from_env();
-    for page in [PageSize::Regular4K, PageSize::Huge2M] {
-        let mut rows = Vec::new();
-        for bytes in sweep_points(page) {
-            let wl = Forkbench {
-                total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
-                bytes_per_page: Some(bytes),
-            };
-            let base = run_workload(&wl, CowStrategy::Baseline, page);
-            let lel = run_workload(&wl, CowStrategy::Lelantus, page);
-            let cow = run_workload(&wl, CowStrategy::LelantusCow, page);
-            rows.push(vec![
-                bytes.to_string(),
-                fmt_x(lel.measured.speedup_vs(&base.measured)),
-                fmt_x(cow.measured.speedup_vs(&base.measured)),
-                fmt_pct(lel.measured.write_fraction_vs(&base.measured)),
-                fmt_pct(cow.measured.write_fraction_vs(&base.measured)),
-            ]);
+    timed_emit("fig11_forkbench_sweep", || {
+        let mut records = Vec::new();
+        let strategies =
+            [CowStrategy::Baseline, CowStrategy::Lelantus, CowStrategy::LelantusCow];
+        for page in [PageSize::Regular4K, PageSize::Huge2M] {
+            let points = sweep_points(page);
+            let runs = run_cells(points.len() * strategies.len(), |i| {
+                let (point_i, strat_i) = (i / strategies.len(), i % strategies.len());
+                let wl = Forkbench {
+                    total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
+                    bytes_per_page: Some(points[point_i]),
+                };
+                run_workload(&wl, strategies[strat_i], page)
+            });
+            let mut rows = Vec::new();
+            for (point_i, bytes) in points.iter().enumerate() {
+                let cell = |strat_i: usize| &runs[point_i * strategies.len() + strat_i];
+                let (base, lel, cow) = (cell(0), cell(1), cell(2));
+                let lel_speedup = lel.measured.speedup_vs(&base.measured);
+                let cow_speedup = cow.measured.speedup_vs(&base.measured);
+                rows.push(vec![
+                    bytes.to_string(),
+                    fmt_x(lel_speedup),
+                    fmt_x(cow_speedup),
+                    fmt_pct(lel.measured.write_fraction_vs(&base.measured)),
+                    fmt_pct(cow.measured.write_fraction_vs(&base.measured)),
+                ]);
+                records.push(Record::with_scheme(
+                    format!("speedup/{page}/{bytes}B_per_page"),
+                    "Lelantus",
+                    lel_speedup,
+                    "x",
+                ));
+            }
+            print_table(
+                &format!("Figure 11 ({page} pages): forkbench sweep over updated bytes/page"),
+                &[
+                    "bytes/page",
+                    "speedup Lelantus",
+                    "speedup L-CoW",
+                    "writes Lelantus",
+                    "writes L-CoW",
+                ],
+                &rows,
+            );
         }
-        print_table(
-            &format!("Figure 11 ({page} pages): forkbench sweep over updated bytes/page"),
-            &[
-                "bytes/page",
-                "speedup Lelantus",
-                "speedup L-CoW",
-                "writes Lelantus",
-                "writes L-CoW",
-            ],
-            &rows,
+        println!(
+            "\npaper (Fig 11): 3.33x (4KB) and 67.53x (2MB) when one byte is updated,\n\
+             decaying to ~1.11x/1.10x at whole-page updates; writes drop to\n\
+             53.45%-14.14% (4KB) and 50.76%-0.20% (2MB); knee at 64 bytes (4KB)\n\
+             and 32KB (2MB) where every cacheline becomes dirty."
         );
-    }
-    println!(
-        "\npaper (Fig 11): 3.33x (4KB) and 67.53x (2MB) when one byte is updated,\n\
-         decaying to ~1.11x/1.10x at whole-page updates; writes drop to\n\
-         53.45%-14.14% (4KB) and 50.76%-0.20% (2MB); knee at 64 bytes (4KB)\n\
-         and 32KB (2MB) where every cacheline becomes dirty."
-    );
+        records
+    });
 }

@@ -1,118 +1,101 @@
-//! Criterion micro-benchmarks for the simulator components: the buddy
+//! Micro-benchmarks for the simulator components: the buddy
 //! allocator, the set-associative cache, the counter cache, the NVM
-//! device datapath, and the secure controller's read/write/command
-//! paths.
+//! device datapath (the frame-indexed line store), and the secure
+//! controller's read/write/command paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lelantus_bench::harness::bench;
+use lelantus_bench::results::{timed_emit, Record};
 use lelantus_cache::{CacheConfig, SetAssocCache};
 use lelantus_core::{ControllerConfig, SchemeKind, SecureMemoryController};
-use lelantus_metadata::counter_block::CounterBlock;
+use lelantus_metadata::counter_block::{CounterBlock, CounterEncoding};
 use lelantus_metadata::{CounterCache, CounterCacheConfig};
-use lelantus_nvm::{NvmConfig, NvmDevice};
+use lelantus_nvm::{LineStore, NvmConfig, NvmDevice};
 use lelantus_os::BuddyAllocator;
 use lelantus_types::{Cycles, PhysAddr};
 use std::hint::black_box;
 
-fn bench_buddy(c: &mut Criterion) {
-    c.bench_function("buddy_alloc_free_4k", |b| {
+fn main() {
+    timed_emit("micro_components", || {
+        let mut ms = Vec::new();
+
         let mut buddy = BuddyAllocator::new(0, 64 << 20);
-        b.iter(|| {
+        ms.push(bench("buddy_alloc_free_4k", || {
             let f = buddy.alloc(black_box(0)).unwrap();
             buddy.free(f, 0);
-        })
-    });
-}
+        }));
 
-fn bench_set_assoc(c: &mut Criterion) {
-    let mut cache =
-        SetAssocCache::new(CacheConfig { size_bytes: 64 << 10, ways: 8, latency: 2 });
-    for i in 0..1024u64 {
-        cache.insert(PhysAddr::new(i * 64), [0; 64], false);
-    }
-    c.bench_function("l1_lookup_hit", |b| {
+        let mut cache =
+            SetAssocCache::new(CacheConfig { size_bytes: 64 << 10, ways: 8, latency: 2 });
+        for i in 0..1024u64 {
+            cache.insert(PhysAddr::new(i * 64), [0; 64], false);
+        }
         let mut i = 0u64;
-        b.iter(|| {
+        ms.push(bench("l1_lookup_hit", || {
             i = (i + 1) % 1024;
             cache.lookup(black_box(PhysAddr::new(i * 64)))
-        })
-    });
-}
+        }));
 
-fn bench_counter_cache(c: &mut Criterion) {
-    let mut cc = CounterCache::new(CounterCacheConfig::default());
-    for region in 0..4096u64 {
-        cc.insert(region, CounterBlock::fresh_regular(1), false);
-    }
-    c.bench_function("counter_cache_get_hit", |b| {
+        let mut cc = CounterCache::new(CounterCacheConfig::default());
+        for region in 0..4096u64 {
+            cc.insert(region, CounterBlock::fresh_regular(1), false);
+        }
         let mut r = 0u64;
-        b.iter(|| {
+        ms.push(bench("counter_cache_get_hit", || {
             r = (r + 13) % 4096;
             cc.get(black_box(r))
-        })
-    });
-}
+        }));
 
-fn bench_counter_encode(c: &mut Criterion) {
-    use lelantus_metadata::counter_block::CounterEncoding;
-    let block = CounterBlock::fresh_cow(42);
-    c.bench_function("counter_block_encode_resized", |b| {
-        b.iter(|| black_box(&block).encode(CounterEncoding::Resized))
-    });
-    let bytes = block.encode(CounterEncoding::Resized);
-    c.bench_function("counter_block_decode_resized", |b| {
-        b.iter(|| CounterBlock::decode(black_box(&bytes), CounterEncoding::Resized))
-    });
-}
+        let block = CounterBlock::fresh_cow(42);
+        ms.push(bench("counter_block_encode_resized", || {
+            black_box(&block).encode(CounterEncoding::Resized)
+        }));
+        let bytes = block.encode(CounterEncoding::Resized);
+        ms.push(bench("counter_block_decode_resized", || {
+            CounterBlock::decode(black_box(&bytes), CounterEncoding::Resized)
+        }));
 
-fn bench_nvm(c: &mut Criterion) {
-    let mut dev = NvmDevice::new(NvmConfig::default());
-    c.bench_function("nvm_write_read_line", |b| {
+        // The raw content store (the HashMap replacement), datapath-free.
+        let mut store = LineStore::new();
+        for i in 0..4096u64 {
+            store.insert(i * 64, [1; 64]);
+        }
         let mut i = 0u64;
-        b.iter(|| {
+        ms.push(bench("line_store_insert_get", || {
+            i = (i + 1) % 4096;
+            store.insert(i * 64, [2; 64]);
+            store.get(black_box(i * 64))
+        }));
+
+        let mut dev = NvmDevice::new(NvmConfig::default());
+        let mut i = 0u64;
+        ms.push(bench("nvm_write_read_line", || {
             i = (i + 1) % 4096;
             let addr = PhysAddr::new(i * 64);
             dev.write_line(addr, [1; 64], Cycles::ZERO);
             dev.read_line(black_box(addr), Cycles::ZERO)
-        })
-    });
-}
+        }));
 
-fn bench_controller(c: &mut Criterion) {
-    let mut ctrl = SecureMemoryController::new(ControllerConfig {
-        data_bytes: 64 << 20,
-        ..ControllerConfig::for_scheme(SchemeKind::LelantusResized)
-    });
-    let base = PhysAddr::new(4 << 20);
-    c.bench_function("controller_write_line", |b| {
+        let mut ctrl = SecureMemoryController::new(ControllerConfig {
+            data_bytes: 64 << 20,
+            ..ControllerConfig::for_scheme(SchemeKind::LelantusResized)
+        });
+        let base = PhysAddr::new(4 << 20);
         let mut i = 0u64;
-        b.iter(|| {
+        ms.push(bench("controller_write_line", || {
             i = (i + 1) % 16384;
             ctrl.write_data_line(base + i * 64, [2; 64], Cycles::ZERO)
-        })
-    });
-    c.bench_function("controller_read_line", |b| {
+        }));
         let mut i = 0u64;
-        b.iter(|| {
+        ms.push(bench("controller_read_line", || {
             i = (i + 1) % 16384;
             ctrl.read_data_line(black_box(base + i * 64), Cycles::ZERO)
-        })
-    });
-    c.bench_function("controller_cmd_page_copy", |b| {
+        }));
         let mut i = 0u64;
-        b.iter(|| {
+        ms.push(bench("controller_cmd_page_copy", || {
             i = (i + 1) % 4096;
             ctrl.cmd_page_copy(base, base + (8 << 20) + i * 4096, Cycles::ZERO)
-        })
+        }));
+
+        ms.iter().map(|m| Record::new(&m.name, m.ns_per_iter, "ns/iter")).collect()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_buddy,
-    bench_set_assoc,
-    bench_counter_cache,
-    bench_counter_encode,
-    bench_nvm,
-    bench_controller
-);
-criterion_main!(benches);

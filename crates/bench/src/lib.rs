@@ -8,6 +8,23 @@
 //! Experiments honour the `LELANTUS_SCALE` environment variable:
 //! `small` (quick sanity run), `medium` (default — shape-faithful at a
 //! fraction of the cost) or `paper` (the paper's workload sizes).
+//!
+//! Three harness facilities are shared by the targets:
+//!
+//! * [`harness`] — a dependency-free micro-benchmark timer (the build
+//!   environment has no criterion), with automatic calibration.
+//! * [`matrix`] — [`matrix::run_matrix`] fans the independent
+//!   (workload × scheme × page size) simulations of a figure across
+//!   CPU cores; every cell is its own [`System`], so runs are
+//!   embarrassingly parallel and bit-identical to the serial order.
+//! * [`results`] — appends measured values to `BENCH_RESULTS.json` at
+//!   the repository root so `EXPERIMENTS.md` claims are reproducible.
+
+pub mod harness;
+pub mod matrix;
+pub mod results;
+
+pub use matrix::{run_cells, run_matrix, Matrix, MatrixCell};
 
 use lelantus_os::CowStrategy;
 use lelantus_sim::{SimConfig, System};
@@ -89,7 +106,14 @@ pub fn run_workload(
     strategy: CowStrategy,
     page: PageSize,
 ) -> WorkloadRun {
-    let mut sys = System::new(SimConfig::new(strategy, page));
+    let mut config = SimConfig::new(strategy, page);
+    // Escape hatch for before/after comparisons: run the whole figure
+    // on the byte-oriented reference cipher (the seed's hot path).
+    // Results are bit-identical either way; only wall-clock changes.
+    if std::env::var_os("LELANTUS_REFERENCE_AES").is_some() {
+        config = config.with_reference_aes();
+    }
+    let mut sys = System::new(config);
     workload.run(&mut sys).unwrap_or_else(|e| panic!("{}: {e}", workload.name()))
 }
 

@@ -1,0 +1,210 @@
+//! Parallel fan-out for independent simulation cells.
+//!
+//! Every figure of the evaluation runs the same workloads under
+//! several (scheme, page size) combinations; each cell builds its own
+//! [`System`], so the cells share nothing and the numbers are
+//! bit-identical whether they run serially or spread across cores.
+//! The environment has no rayon, so [`run_cells`] hand-rolls the
+//! fan-out on [`std::thread::scope`] with an atomic index dispenser.
+//!
+//! `LELANTUS_THREADS` overrides the worker count (`1` forces serial
+//! execution — useful for before/after wall-clock comparisons, see
+//! `EXPERIMENTS.md`).
+
+use crate::run_workload;
+use lelantus_os::CowStrategy;
+use lelantus_types::PageSize;
+use lelantus_workloads::{Workload, WorkloadRun};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `LELANTUS_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn parallelism() -> usize {
+    match std::env::var("LELANTUS_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `job(0..count)` across [`parallelism`] worker threads and
+/// returns the results in index order. `job` must be independent per
+/// index; cells are dispensed dynamically so long and short cells
+/// balance across workers.
+pub fn run_cells<T, F>(count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism().min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(&job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = job(i);
+                results.lock().expect("result sink poisoned")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result sink poisoned")
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
+}
+
+/// One completed simulation of the (page × workload × scheme) matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Workload name (as reported by [`Workload::name`]).
+    pub workload: String,
+    /// Scheme the cell ran under.
+    pub strategy: CowStrategy,
+    /// Page size the cell ran under.
+    pub page: PageSize,
+    /// The measurement.
+    pub run: WorkloadRun,
+}
+
+/// The completed matrix, indexable by (page, workload, strategy).
+#[derive(Debug)]
+pub struct Matrix {
+    pages: Vec<PageSize>,
+    strategies: Vec<CowStrategy>,
+    workloads: usize,
+    cells: Vec<MatrixCell>,
+}
+
+impl Matrix {
+    /// Cell for (`page_i`, `workload_i`, `strategy_i`) in the index
+    /// spaces the matrix was built with.
+    pub fn get(&self, page_i: usize, workload_i: usize, strategy_i: usize) -> &MatrixCell {
+        &self.cells
+            [(page_i * self.workloads + workload_i) * self.strategies.len() + strategy_i]
+    }
+
+    /// All cells in deterministic (page, workload, strategy) order.
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+
+    /// Number of workloads per (page, strategy) combination.
+    pub fn workload_count(&self) -> usize {
+        self.workloads
+    }
+
+    /// The page-size axis.
+    pub fn pages(&self) -> &[PageSize] {
+        &self.pages
+    }
+
+    /// The strategy axis.
+    pub fn strategies(&self) -> &[CowStrategy] {
+        &self.strategies
+    }
+}
+
+/// Runs every workload produced by `factory` under every strategy and
+/// page size, fanning the independent cells across cores. `factory` is
+/// called once per cell (workload construction is cheap; `Box<dyn
+/// Workload>` is not `Sync`, the factory closure is).
+pub fn run_matrix<F>(factory: &F, strategies: &[CowStrategy], pages: &[PageSize]) -> Matrix
+where
+    F: Fn() -> Vec<Box<dyn Workload>> + Sync,
+{
+    let workloads = factory().len();
+    let per_page = workloads * strategies.len();
+    let count = pages.len() * per_page;
+    let cells = run_cells(count, |i| {
+        let (page_i, rest) = (i / per_page, i % per_page);
+        let (workload_i, strategy_i) = (rest / strategies.len(), rest % strategies.len());
+        let wl = factory().swap_remove(workload_i);
+        let (strategy, page) = (strategies[strategy_i], pages[page_i]);
+        let run = run_workload(wl.as_ref(), strategy, page);
+        MatrixCell { workload: wl.name().to_string(), strategy, page, run }
+    });
+    Matrix { pages: pages.to_vec(), strategies: strategies.to_vec(), workloads, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_preserves_index_order() {
+        let out = run_cells(64, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_cells_handles_empty_and_serial() {
+        assert!(run_cells(0, |i| i).is_empty());
+        std::env::set_var("LELANTUS_THREADS", "1");
+        let out = run_cells(5, |i| i + 1);
+        std::env::remove_var("LELANTUS_THREADS");
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parallelism_is_at_least_one() {
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn matrix_indexing_matches_layout() {
+        use lelantus_workloads::noncopy::NonCopy;
+        let factory = || -> Vec<Box<dyn Workload>> {
+            vec![
+                Box::new(NonCopy { total_bytes: 1 << 20 }),
+                Box::new(NonCopy { total_bytes: 2 << 20 }),
+            ]
+        };
+        let strategies = [CowStrategy::Baseline, CowStrategy::Lelantus];
+        let pages = [PageSize::Regular4K];
+        let m = run_matrix(&factory, &strategies, &pages);
+        assert_eq!(m.cells().len(), 4);
+        assert_eq!(m.workload_count(), 2);
+        for (p, page) in pages.iter().enumerate() {
+            for w in 0..2 {
+                for (s, strategy) in strategies.iter().enumerate() {
+                    let cell = m.get(p, w, s);
+                    assert_eq!(cell.page, *page);
+                    assert_eq!(cell.strategy, *strategy);
+                    assert_eq!(cell.workload, "non-copy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_cells_match_serial_runs() {
+        use lelantus_workloads::noncopy::NonCopy;
+        let factory =
+            || -> Vec<Box<dyn Workload>> { vec![Box::new(NonCopy { total_bytes: 1 << 20 })] };
+        let strategies = [CowStrategy::Baseline, CowStrategy::Lelantus];
+        let m = run_matrix(&factory, &strategies, &[PageSize::Regular4K]);
+        for (s, strategy) in strategies.iter().enumerate() {
+            let serial = run_workload(
+                &NonCopy { total_bytes: 1 << 20 },
+                *strategy,
+                PageSize::Regular4K,
+            );
+            let cell = m.get(0, 0, s);
+            assert_eq!(cell.run.measured.cycles, serial.measured.cycles, "{strategy}");
+            assert_eq!(
+                cell.run.measured.nvm.line_writes,
+                serial.measured.nvm.line_writes,
+                "{strategy}"
+            );
+        }
+    }
+}

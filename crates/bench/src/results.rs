@@ -1,0 +1,150 @@
+//! Machine-readable results: `BENCH_RESULTS.json` at the repo root.
+//!
+//! Every bench target finishes by calling [`emit`], which merges its
+//! records into the shared file (replacing that bench's previous
+//! records, keeping everyone else's). The file is a JSON array with
+//! one record object per line; the writer is hand-rolled because the
+//! build environment has no serde, and the merge is line-based so it
+//! needs no JSON parser either.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured value.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Metric name (e.g. `ctr_encrypt_line_64B` or `speedup/redis`).
+    pub name: String,
+    /// Scheme the value was measured under, when meaningful.
+    pub scheme: Option<String>,
+    /// The measured value.
+    pub value: f64,
+    /// The value's unit (e.g. `ns/iter`, `x`, `cycles`, `s`).
+    pub unit: String,
+}
+
+impl Record {
+    /// Convenience constructor for scheme-less metrics.
+    pub fn new(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Record { name: name.into(), scheme: None, value, unit: unit.into() }
+    }
+
+    /// Same, tagged with a scheme.
+    pub fn with_scheme(
+        name: impl Into<String>,
+        scheme: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> Self {
+        Record { name: name.into(), scheme: Some(scheme.into()), value, unit: unit.into() }
+    }
+}
+
+/// Where the results file lives: `LELANTUS_BENCH_RESULTS` if set, else
+/// `BENCH_RESULTS.json` at the workspace root.
+fn results_path() -> PathBuf {
+    if let Ok(p) = std::env::var("LELANTUS_BENCH_RESULTS") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_RESULTS.json")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render(bench: &str, wall_clock_s: f64, r: &Record) -> String {
+    let scheme = match &r.scheme {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"bench\":\"{}\",\"name\":\"{}\",\"scheme\":{},\"value\":{},\"unit\":\"{}\",\"wall_clock_s\":{:.3}}}",
+        escape(bench),
+        escape(&r.name),
+        scheme,
+        if r.value.is_finite() { format!("{}", r.value) } else { "null".into() },
+        escape(&r.unit),
+        wall_clock_s,
+    )
+}
+
+/// Merges `records` for `bench` into the results file: existing
+/// records from other benches are kept, this bench's previous records
+/// are replaced. `wall_clock_s` is the target's total wall-clock time,
+/// stamped on every record.
+pub fn emit(bench: &str, wall_clock_s: f64, records: &[Record]) {
+    let path = results_path();
+    let marker = format!("\"bench\":\"{}\"", escape(bench));
+    let mut lines: Vec<String> = match fs::read_to_string(&path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with('{'))
+            .filter(|l| !l.contains(&marker))
+            .map(|l| l.trim_end_matches(',').to_string())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    lines.extend(records.iter().map(|r| render(bench, wall_clock_s, r)));
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    if let Err(e) = fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\nrecorded {} result(s) for '{bench}' in {}", records.len(), path.display());
+    }
+}
+
+/// Runs `body`, then emits its records stamped with the measured
+/// wall-clock time. The usual shape of a bench `main`.
+pub fn timed_emit(bench: &str, body: impl FnOnce() -> Vec<Record>) {
+    let start = Instant::now();
+    let records = body();
+    emit(bench, start.elapsed().as_secs_f64(), &records);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_temp_file<R>(name: &str, f: impl FnOnce(&PathBuf) -> R) -> R {
+        let path = std::env::temp_dir().join(name);
+        let _ = fs::remove_file(&path);
+        std::env::set_var("LELANTUS_BENCH_RESULTS", &path);
+        let out = f(&path);
+        std::env::remove_var("LELANTUS_BENCH_RESULTS");
+        let _ = fs::remove_file(&path);
+        out
+    }
+
+    #[test]
+    fn emit_writes_and_merges() {
+        with_temp_file("lelantus_results_merge_test.json", |path| {
+            emit("alpha", 1.0, &[Record::new("m1", 1.5, "x")]);
+            emit("beta", 2.0, &[Record::with_scheme("m2", "Lelantus", 3.0, "cycles")]);
+            // Re-emitting alpha replaces its old record, keeps beta's.
+            emit("alpha", 4.0, &[Record::new("m1", 9.5, "x")]);
+            let text = fs::read_to_string(path).unwrap();
+            assert!(text.starts_with("[\n"), "array framing: {text}");
+            assert!(text.contains("\"bench\":\"beta\""));
+            assert!(text.contains("\"value\":9.5"));
+            assert!(!text.contains("\"value\":1.5"), "stale record survived: {text}");
+            assert!(text.contains("\"scheme\":\"Lelantus\""));
+            assert!(text.contains("\"wall_clock_s\":4.000"));
+            // Both record lines present, comma-separated valid JSON.
+            assert_eq!(text.matches("\"bench\"").count(), 2);
+            assert_eq!(text.matches(",\n").count(), 1);
+        });
+    }
+
+    #[test]
+    fn render_escapes_quotes() {
+        let r = Record::new("we\"ird", 1.0, "x");
+        let line = render("b", 0.5, &r);
+        assert!(line.contains("we\\\"ird"));
+        assert!(line.ends_with('}'));
+    }
+}

@@ -1,10 +1,9 @@
 //! Cache geometry and latency configuration.
 
 use lelantus_types::LINE_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -53,7 +52,7 @@ impl CacheConfig {
 /// assert_eq!(cfg.l1.size_bytes, 64 << 10);
 /// assert_eq!(cfg.l3.latency, 25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Level-1 data cache.
     pub l1: CacheConfig,

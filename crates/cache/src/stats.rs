@@ -1,9 +1,8 @@
 //! Cache statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Hit/miss counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found the line.
     pub hits: u64,
@@ -30,7 +29,7 @@ impl CacheStats {
 }
 
 /// Statistics for all three levels.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 counters.
     pub l1: CacheStats,

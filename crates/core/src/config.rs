@@ -3,10 +3,9 @@
 use lelantus_metadata::counter_block::CounterEncoding;
 use lelantus_metadata::counter_cache::CounterCacheConfig;
 use lelantus_nvm::NvmConfig;
-use serde::{Deserialize, Serialize};
 
 /// The four CoW schemes compared in the paper's evaluation (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Conventional secure NVM controller: no CoW support; the kernel
     /// performs full page copies and zeroing.
@@ -61,7 +60,7 @@ impl std::fmt::Display for SchemeKind {
 }
 
 /// Construction parameters for the controller.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ControllerConfig {
     /// CoW scheme.
     pub scheme: SchemeKind,
@@ -102,6 +101,10 @@ pub struct ControllerConfig {
     pub track_footprint: bool,
     /// AES-128 key for the counter-mode engine.
     pub key: [u8; 16],
+    /// Run the counter-mode engine on the byte-oriented reference AES
+    /// instead of the T-table cipher. Functionally identical and much
+    /// slower; only equivalence tests turn this on.
+    pub use_reference_aes: bool,
 }
 
 impl ControllerConfig {
@@ -132,6 +135,7 @@ impl ControllerConfig {
             mac_cache_lines: 1024,
             track_footprint: true,
             key: *b"lelantus-aes-key",
+            use_reference_aes: false,
         }
     }
 

@@ -28,7 +28,7 @@ use crate::config::{ControllerConfig, SchemeKind};
 use crate::footprint::{AccessDir, FootprintTracker};
 use crate::stats::ControllerStats;
 use lelantus_cache::LineBackend;
-use lelantus_crypto::ctr::{CtrEngine, IvSpec};
+use lelantus_crypto::ctr::{xor_line, CtrEngine, IvSpec};
 use lelantus_crypto::merkle::MerkleTree;
 use lelantus_crypto::siphash::SipHash24;
 use lelantus_metadata::counter_block::{CounterBlock, CounterEncoding, MINORS};
@@ -91,7 +91,11 @@ impl SecureMemoryController {
         let persisted_root = merkle.root();
         Self {
             nvm: NvmDevice::new(config.nvm.clone()),
-            engine: CtrEngine::new(config.key),
+            engine: if config.use_reference_aes {
+                CtrEngine::new_reference(config.key)
+            } else {
+                CtrEngine::new(config.key)
+            },
             merkle,
             counter_cache: CounterCache::new(config.counter_cache),
             cow_cache: CowCache::new(config.cow_cache_entries),
@@ -606,12 +610,15 @@ impl SecureMemoryController {
             newblock.reencrypt_epoch();
         }
         let mut done = t;
-        for (line, plain) in plains.iter().enumerate() {
+        // All 64 lines re-encrypt under (new major, minor = 1) at
+        // consecutive addresses: one batched pad sweep replaces 64
+        // per-line engine dispatches. Device call order is unchanged.
+        let base = self.line_addr(region, 0);
+        let ciphers = self.engine.copy_page(&plains, base.as_u64(), newblock.major, 1);
+        for (line, cipher) in ciphers.iter().enumerate() {
             let data_addr = self.line_addr(region, line);
-            let iv = IvSpec { line_addr: data_addr.as_u64(), major: newblock.major, minor: 1 };
-            let cipher = self.engine.encrypt_line(plain, iv);
-            done = done.max(self.nvm.write_line(data_addr, cipher, t));
-            self.update_data_mac(data_addr, &cipher, newblock.major, 1, t);
+            done = done.max(self.nvm.write_line(data_addr, *cipher, t));
+            self.update_data_mac(data_addr, cipher, newblock.major, 1, t);
             self.stats.reencrypted_lines += 1;
         }
         (newblock, done)
@@ -704,7 +711,13 @@ impl SecureMemoryController {
         let issue = t;
         let mut done = t;
         let dbg = std::env::var("LELANTUS_DEBUG_PHYC").is_ok();
-        for line in 0..MINORS {
+        // Every materialized line lands at (major, minor = 1) on a
+        // consecutive address, so generate the pads for the whole page
+        // in one sweep up front; the per-line loop below only resolves
+        // sources and XORs. Device call order is unchanged.
+        let base = self.line_addr(dst_region, 0);
+        let pads = self.engine.page_pads(base.as_u64(), block.major, 1, MINORS);
+        for (line, pad) in pads.iter().enumerate() {
             if block.minors[line] != 0 {
                 continue;
             }
@@ -714,8 +727,7 @@ impl SecureMemoryController {
             }
             block.minors[line] = 1;
             let data_addr = self.line_addr(dst_region, line);
-            let iv = IvSpec { line_addr: data_addr.as_u64(), major: block.major, minor: 1 };
-            let cipher = self.engine.encrypt_line(&plain, iv);
+            let cipher = xor_line(&plain, pad);
             // Copies proceed in parallel, bounded by bank availability
             // (§III-E: "safely done in parallel to leverage row buffers").
             done = done.max(self.nvm.write_line(data_addr, cipher, t3));

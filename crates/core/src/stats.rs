@@ -5,10 +5,9 @@
 //! CoW-cache miss rates (Fig 10b), and the command mix (Table V's
 //! copy/initialization traffic share).
 
-use serde::{Deserialize, Serialize};
 
 /// Event counters maintained by the secure memory controller.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Line reads requested by the cache hierarchy / copy engine.
     pub logical_reads: u64,

@@ -16,13 +16,12 @@
 //! not been copied yet"; the first write moves it to 1, which is how a
 //! copy completes implicitly (paper §III-B).
 
-use serde::{Deserialize, Serialize};
 
 /// Number of minor counters (lines) per counter block.
 pub const MINORS: usize = 64;
 
 /// Which wire format a counter block is serialized with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterEncoding {
     /// 64-bit major, 7-bit minors, no CoW fields (baseline /
     /// Silent Shredder / Lelantus-CoW).
@@ -76,30 +75,16 @@ impl std::error::Error for MinorOverflow {}
 /// serialized — Solution 2 stores it in the supplementary table
 /// ([`crate::cow_meta`]) instead, and [`CounterBlock::encode`] will
 /// panic if asked to serialize a CoW block classically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterBlock {
     /// Region-shared major counter.
     pub major: u64,
     /// Per-line minor counters (semantically 6- or 7-bit).
-    #[serde(with = "serde_minors")]
     pub minors: [u8; MINORS],
     /// Source region index when this covers a CoW page (Solution 1
     /// keeps it in-band; Solution 2 keeps it out-of-band but mirrors it
     /// here in the decoded view for uniform handling).
     pub cow_src: Option<u64>,
-}
-
-mod serde_minors {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        v.try_into().map_err(|_| serde::de::Error::custom("expected 64 minors"))
-    }
 }
 
 impl Default for CounterBlock {

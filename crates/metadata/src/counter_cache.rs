@@ -9,10 +9,9 @@
 //! blocks move to or from NVM.
 
 use crate::counter_block::CounterBlock;
-use serde::{Deserialize, Serialize};
 
 /// Counter-cache write management (paper §V-E, Figure 12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Updates complete in the cache; NVM is written on eviction
     /// (battery-backed, the paper's default).
@@ -22,7 +21,7 @@ pub enum WritePolicy {
 }
 
 /// Counter-cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterCacheConfig {
     /// Capacity in counter blocks (entries).
     pub entries: usize,
@@ -65,7 +64,7 @@ impl CounterCacheConfig {
 }
 
 /// Counter-cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterCacheStats {
     /// Lookups that hit.
     pub hits: u64,

@@ -14,7 +14,6 @@
 //! controller charges NVM traffic for table reads/writes that miss the
 //! cache.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The in-NVM mapping `region → source region` for CoW pages.
@@ -35,7 +34,7 @@ use std::collections::HashMap;
 /// table.set(10, None);
 /// assert_eq!(table.get(10), None);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CowMetaTable {
     slots: HashMap<u64, u64>,
 }
@@ -94,7 +93,7 @@ impl CowMetaTable {
 }
 
 /// Statistics for the on-chip CoW cache (Fig 10b).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CowCacheStats {
     /// Lookups that hit.
     pub hits: u64,

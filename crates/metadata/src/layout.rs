@@ -7,7 +7,6 @@
 //! Lelantus-CoW's ~5 % extra writes (§V-C) measurable.
 
 use lelantus_types::{PhysAddr, LINE_BYTES, REGION_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Address map: `[0, data_bytes)` is ordinary data, followed by the
 /// counter-block area (64 B per 4 KB region, i.e. 1.5625 % overhead),
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let ctr = layout.counter_addr_of(PhysAddr::new(0x1234));
 /// assert!(ctr.as_u64() >= 1 << 30, "metadata lives above the data area");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetadataLayout {
     /// Size of the OS-visible data area in bytes.
     pub data_bytes: u64,

@@ -9,14 +9,13 @@
 //! 64-byte metadata line, placed by [`crate::MetadataLayout`]) and the
 //! memory controller computes them with its keyed hash.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Number of 8-byte MACs per 64-byte metadata line.
 pub const MACS_PER_LINE: usize = 8;
 
 /// Statistics for the MAC cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MacCacheStats {
     /// Lookups that hit.
     pub hits: u64,

@@ -1,7 +1,6 @@
 //! Device geometry and latency configuration.
 
 use crate::start_gap::StartGapConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated NVM device.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.read_latency, 60);
 /// assert_eq!(cfg.total_banks(), 16);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NvmConfig {
     /// Device capacity in bytes.
     pub capacity_bytes: u64,

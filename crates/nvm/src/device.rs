@@ -4,10 +4,10 @@ use crate::bank::Bank;
 use crate::config::NvmConfig;
 use crate::start_gap::StartGap;
 use crate::stats::NvmStats;
+use crate::store::LineStore;
 use crate::wear::WearTracker;
 use crate::write_queue::WriteQueue;
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
-use std::collections::HashMap;
 
 /// The simulated non-volatile memory device.
 ///
@@ -35,7 +35,7 @@ pub struct NvmDevice {
     bus_busy: Vec<Cycles>,
     write_queue: WriteQueue,
     /// Line contents keyed by *device* (post-leveling) address.
-    contents: HashMap<u64, [u8; LINE_BYTES]>,
+    contents: LineStore,
     wear: WearTracker,
     leveler: Option<StartGap>,
     stats: NvmStats,
@@ -60,7 +60,7 @@ impl NvmDevice {
             config,
             banks,
             write_queue,
-            contents: HashMap::new(),
+            contents: LineStore::new(),
             wear: WearTracker::new(),
             leveler,
             stats: NvmStats::default(),
@@ -86,10 +86,10 @@ impl NvmDevice {
         if let Some((from, to)) = sg.pending_move() {
             let from_addr = PhysAddr::new(from * LINE_BYTES as u64);
             let to_addr = PhysAddr::new(to * LINE_BYTES as u64);
-            if let Some(data) = self.contents.remove(&from_addr.as_u64()) {
+            if let Some(data) = self.contents.remove(from_addr.as_u64()) {
                 self.contents.insert(to_addr.as_u64(), data);
             } else {
-                self.contents.remove(&to_addr.as_u64());
+                self.contents.remove(to_addr.as_u64());
             }
             self.leveler.as_mut().expect("leveler present").complete_move();
             self.stats.leveling_moves += 1;
@@ -193,7 +193,7 @@ impl NvmDevice {
         self.stats.line_reads += 1;
         let done = self.array_access(line, now, false);
         let device = self.map_addr(line);
-        let data = self.contents.get(&device.as_u64()).copied().unwrap_or([0; LINE_BYTES]);
+        let data = self.contents.get(device.as_u64()).unwrap_or([0; LINE_BYTES]);
         (data, done)
     }
 
@@ -267,7 +267,7 @@ impl NvmDevice {
     /// Intended for assertions and debugging, not the datapath.
     pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
         let device = self.map_addr(addr.line_align());
-        self.contents.get(&device.as_u64()).copied().unwrap_or([0; LINE_BYTES])
+        self.contents.get(device.as_u64()).unwrap_or([0; LINE_BYTES])
     }
 
     /// Device (post-leveling) address a logical line currently maps to

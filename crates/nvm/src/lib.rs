@@ -38,11 +38,13 @@ pub mod config;
 pub mod device;
 pub mod start_gap;
 pub mod stats;
+pub mod store;
 pub mod wear;
 pub mod write_queue;
 
 pub use config::NvmConfig;
 pub use device::NvmDevice;
 pub use stats::NvmStats;
+pub use store::LineStore;
 pub use start_gap::{StartGap, StartGapConfig};
 pub use wear::WearTracker;

@@ -15,10 +15,9 @@
 //! instantiates it per 64-byte line as in the original design, so a gap
 //! move copies a single line — <1 % overhead at ψ = 100.
 
-use serde::{Deserialize, Serialize};
 
 /// Start-Gap configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StartGapConfig {
     /// Block writes between gap movements (ψ). Qureshi et al. use
     /// 100: <1 % write overhead for near-uniform wear.

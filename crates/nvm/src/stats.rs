@@ -1,6 +1,5 @@
 //! Device-level statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters exported by the NVM device.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// (Figs 2, 9b/9d, 11b/11d): one count per 64-byte physical array
 /// write, whether it carries data, encryption counters, or CoW
 /// metadata.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NvmStats {
     /// Physical 64-byte array reads.
     pub line_reads: u64,

@@ -1,10 +1,9 @@
 //! Kernel configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Which copy-on-write machinery the kernel drives (paper §V-A's four
 /// compared schemes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CowStrategy {
     /// Default Linux: CoW faults copy the whole page; allocation zeroes
     /// whole pages.
@@ -52,7 +51,7 @@ impl std::fmt::Display for CowStrategy {
 }
 
 /// Kernel construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     /// Bytes of physical memory the kernel manages (the OS-visible data
     /// area; security metadata lives above it).

@@ -23,7 +23,6 @@ use crate::page_table::{PageTable, Pte};
 use crate::rmap::RmapRegistry;
 use crate::vma::Vma;
 use lelantus_types::{PageSize, PhysAddr, VirtAddr, REGION_BYTES};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
@@ -145,7 +144,7 @@ pub struct AccessOutcome {
 }
 
 /// Kernel event counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// CoW copy faults (including demand-zero).
     pub cow_faults: u64,

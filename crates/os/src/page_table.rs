@@ -104,9 +104,16 @@ impl PageTable {
         std::mem::replace(&mut e.writable, writable)
     }
 
-    /// Iterates over `(va_base, pte)` pairs in unspecified order.
+    /// Iterates over `(va_base, pte)` pairs in ascending address order.
+    ///
+    /// The order is load-bearing: fork and mprotect turn this walk into
+    /// hardware actions whose NVM timing depends on the access
+    /// sequence, so hash order here would make simulated cycle counts
+    /// differ between identically-configured runs.
     pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, Pte)> + '_ {
-        self.entries.iter().map(|(va, pte)| (VirtAddr::new(*va), *pte))
+        let mut sorted: Vec<(u64, Pte)> = self.entries.iter().map(|(va, pte)| (*va, *pte)).collect();
+        sorted.sort_unstable_by_key(|(va, _)| *va);
+        sorted.into_iter().map(|(va, pte)| (VirtAddr::new(va), pte))
     }
 
     /// Number of mappings.

@@ -1,11 +1,10 @@
 //! Virtual memory areas.
 
 use lelantus_types::{PageSize, VirtAddr};
-use serde::{Deserialize, Serialize};
 
 /// One contiguous anonymous mapping in a process address space
 /// (Linux's `vm_area_struct`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Vma {
     /// Inclusive start address (page-aligned).
     pub start: VirtAddr,

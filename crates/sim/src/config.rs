@@ -6,7 +6,6 @@ use lelantus_core::{ControllerConfig, SchemeKind};
 use lelantus_metadata::counter_cache::WritePolicy;
 use lelantus_os::{CowStrategy, KernelConfig};
 use lelantus_types::PageSize;
-use serde::{Deserialize, Serialize};
 
 /// Full-system configuration.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Huge2M);
 /// assert_eq!(cfg.kernel.phys_bytes, cfg.controller.data_bytes);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Kernel (OS model) parameters; `strategy` selects the CoW regime.
     pub kernel: KernelConfig,
@@ -80,6 +79,15 @@ impl SimConfig {
     /// *measure* overflow, §V-A).
     pub fn with_deterministic_counters(mut self) -> Self {
         self.controller.randomize_counters = false;
+        self
+    }
+
+    /// Runs the controller's counter-mode engine on the byte-oriented
+    /// reference AES (functionally identical, much slower). Exists for
+    /// the equivalence tests that prove the T-table fast path changes
+    /// nothing observable.
+    pub fn with_reference_aes(mut self) -> Self {
+        self.controller.use_reference_aes = true;
         self
     }
 

@@ -13,11 +13,10 @@
 //! wrapper performs those shootdowns.
 
 use lelantus_types::{PageSize, PhysAddr, VirtAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// TLB geometry and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// L1 entries for 4 KB pages (typical: 64).
     pub l1_entries_4k: usize,
@@ -63,7 +62,7 @@ pub struct TlbEntry {
 }
 
 /// TLB statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// L1 hits.
     pub l1_hits: u64,

@@ -6,15 +6,13 @@
 //! Lelantus' CoW metadata is keyed by *physical* page, paper §III-A).
 
 use crate::{LINE_BYTES, REGION_BYTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 macro_rules! addr_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-                 Serialize, Deserialize)]
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(u64);
 
         impl $name {

@@ -5,14 +5,12 @@
 //! 150 ns write) convert to cycles with no scaling. All simulator
 //! components account time in [`Cycles`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A duration or instant measured in 1 GHz core cycles (= nanoseconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-         Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycles(pub u64);
 
 impl Cycles {

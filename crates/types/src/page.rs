@@ -6,11 +6,10 @@
 //! (paper §IV-C) — and 32 768 cachelines.
 
 use crate::{LINE_BYTES, REGION_BYTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Page granularity managed by the simulated OS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageSize {
     /// A 4 KB base page.
     Regular4K,

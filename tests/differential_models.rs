@@ -94,7 +94,7 @@ proptest! {
         let mut dev = NvmDevice::new(NvmConfig {
             capacity_bytes: 1 << 20,
             write_queue_capacity: 8,
-            wear_leveling: leveling.then(|| StartGapConfig { gap_write_interval: 5 }),
+            wear_leveling: leveling.then_some(StartGapConfig { gap_write_interval: 5 }),
             ..NvmConfig::default()
         });
         let mut reference: HashMap<u64, [u8; 64]> = HashMap::new();
