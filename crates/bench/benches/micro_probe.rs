@@ -1,0 +1,124 @@
+//! Performance gate for the observability layer: the `NullProbe`
+//! (tracing disabled) path must cost nothing.
+//!
+//! Every probe call site in the simulator is guarded by
+//! `if P::ENABLED { ... }` where `ENABLED` is an associated constant,
+//! so with `NullProbe` the branch — and the event construction behind
+//! it — must monomorphize away entirely. This target *asserts* that a
+//! hot loop instrumented with `NullProbe` runs within noise of the
+//! same loop with no probe calls at all, and reports the real cost of
+//! the recording probes (`RingProbe`) plus a macro-level traced-vs-
+//! untraced forkbench run for context.
+
+use lelantus_bench::harness::bench;
+use lelantus_bench::results::{timed_emit, Record};
+use lelantus_os::CowStrategy;
+use lelantus_sim::{Event, EventKind, HistKind, NullProbe, Probe, RingProbe, SimConfig, System};
+use lelantus_types::{Cycles, PageSize};
+use lelantus_workloads::{forkbench::Forkbench, Workload};
+use std::hint::black_box;
+
+/// The shape of a simulator hot path: a little arithmetic (an LCG
+/// step standing in for real datapath work) plus one guarded probe
+/// call, exactly as the controller/NVM emission sites are written.
+#[inline(always)]
+fn instrumented_step<P: Probe>(probe: &P, state: u64) -> u64 {
+    let next = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    if P::ENABLED {
+        probe.emit(Event {
+            cycle: Cycles::new(next),
+            kind: EventKind::QueueAdmit { addr: next & 0xFFFF_FFC0, depth: 3, merged: false },
+        });
+        probe.record(HistKind::WriteQueueDepth, next & 63);
+    }
+    next
+}
+
+/// The same arithmetic with no probe in sight — the untraced baseline
+/// the `NullProbe` path is held to.
+#[inline(always)]
+fn bare_step(state: u64) -> u64 {
+    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+const STEPS: u64 = 1024;
+
+fn run_instrumented<P: Probe>(probe: &P) -> u64 {
+    let mut s = 0x5EED;
+    for _ in 0..STEPS {
+        s = instrumented_step(probe, black_box(s));
+    }
+    s
+}
+
+fn run_bare() -> u64 {
+    let mut s = 0x5EED;
+    for _ in 0..STEPS {
+        s = bare_step(black_box(s));
+    }
+    s
+}
+
+fn forkbench_cycles<P: Probe>(sys: &mut System<P>) -> u64 {
+    let run = Forkbench::small().run(sys).expect("forkbench");
+    run.measured.cycles.as_u64()
+}
+
+fn main() {
+    timed_emit("micro_probe", || {
+        let mut records = Vec::new();
+
+        // --- the gate: NullProbe vs no probe at all --------------------
+        // Measured up to three times; shared CI machines can land an
+        // unlucky batch, but a genuinely free path passes immediately.
+        const MAX_RATIO: f64 = 1.3;
+        let mut ratio = f64::INFINITY;
+        for attempt in 1..=3 {
+            let baseline = bench("probe_hot_loop_untraced", run_bare);
+            let null = bench("probe_hot_loop_null_probe", || run_instrumented(&NullProbe));
+            ratio = null.ns_per_iter / baseline.ns_per_iter;
+            println!("null-probe / untraced ratio: {ratio:.3} (attempt {attempt})");
+            if attempt == 1 {
+                records.push(Record::new("probe_untraced_1k_steps", baseline.ns_per_iter, "ns/iter"));
+                records.push(Record::new("probe_null_1k_steps", null.ns_per_iter, "ns/iter"));
+            }
+            if ratio <= MAX_RATIO {
+                break;
+            }
+        }
+        records.push(Record::new("probe_null_overhead_ratio", ratio, "x"));
+        assert!(
+            ratio <= MAX_RATIO,
+            "NullProbe hot loop is {ratio:.3}x the untraced baseline (gate: {MAX_RATIO}x); \
+             the disabled tracing path is supposed to compile away"
+        );
+
+        // --- informational: what recording actually costs --------------
+        let ring = RingProbe::new(4096);
+        let ring_m = bench("probe_hot_loop_ring_probe", || run_instrumented(&ring));
+        records.push(Record::new("probe_ring_1k_steps", ring_m.ns_per_iter, "ns/iter"));
+
+        // --- macro-level: a traced forkbench within a loose bound ------
+        // End-to-end the probe cost is diluted by real simulation work;
+        // this is a sanity figure, not a gate on wall-clock noise.
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
+            .with_phys_bytes(64 << 20)
+            .with_deterministic_counters();
+        let untraced = bench("forkbench_small_untraced", || {
+            forkbench_cycles(&mut System::new(cfg.clone()))
+        });
+        let traced = bench("forkbench_small_ring_traced", || {
+            forkbench_cycles(&mut System::with_probe(cfg.clone(), RingProbe::new(1 << 16)))
+        });
+        let macro_ratio = traced.ns_per_iter / untraced.ns_per_iter;
+        println!("ring-traced / untraced forkbench ratio: {macro_ratio:.3}");
+        records.push(Record::new("probe_forkbench_traced_ratio", macro_ratio, "x"));
+        assert!(
+            macro_ratio <= 2.0,
+            "RingProbe-traced forkbench is {macro_ratio:.3}x untraced; recording should be \
+             a modest constant factor, not a blow-up"
+        );
+
+        records
+    });
+}

@@ -9,7 +9,34 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Version of the record schema below. Bump when record fields change
+/// meaning or are added/removed, so downstream tooling can dispatch.
+///
+/// * v1: bench/name/scheme/value/unit/wall_clock_s (implicit, no field)
+/// * v2: adds `schema` and `git` to every record
+pub const RESULTS_SCHEMA_VERSION: u32 = 2;
+
+/// Short git commit hash of the working tree, queried once per
+/// process; `"unknown"` when git is unavailable (e.g. a source
+/// tarball).
+fn git_commit() -> &'static str {
+    static HASH: OnceLock<String> = OnceLock::new();
+    HASH.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into())
+    })
+}
 
 /// One measured value.
 #[derive(Debug, Clone)]
@@ -60,7 +87,9 @@ fn render(bench: &str, wall_clock_s: f64, r: &Record) -> String {
         None => "null".into(),
     };
     format!(
-        "{{\"bench\":\"{}\",\"name\":\"{}\",\"scheme\":{},\"value\":{},\"unit\":\"{}\",\"wall_clock_s\":{:.3}}}",
+        "{{\"schema\":{},\"git\":\"{}\",\"bench\":\"{}\",\"name\":\"{}\",\"scheme\":{},\"value\":{},\"unit\":\"{}\",\"wall_clock_s\":{:.3}}}",
+        RESULTS_SCHEMA_VERSION,
+        escape(git_commit()),
         escape(bench),
         escape(&r.name),
         scheme,
@@ -137,7 +166,21 @@ mod tests {
             // Both record lines present, comma-separated valid JSON.
             assert_eq!(text.matches("\"bench\"").count(), 2);
             assert_eq!(text.matches(",\n").count(), 1);
+            // Every record carries the schema version and a git stamp.
+            assert_eq!(
+                text.matches(&format!("\"schema\":{RESULTS_SCHEMA_VERSION}")).count(),
+                2
+            );
+            assert_eq!(text.matches("\"git\":\"").count(), 2);
         });
+    }
+
+    #[test]
+    fn git_commit_is_cached_and_nonempty() {
+        let a = git_commit();
+        assert!(!a.is_empty());
+        // OnceLock: a second call returns the very same allocation.
+        assert_eq!(a.as_ptr(), git_commit().as_ptr());
     }
 
     #[test]

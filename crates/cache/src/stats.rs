@@ -26,6 +26,17 @@ impl CacheStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Interval counters: `self - earlier` field by field.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
+            invalidations: self.invalidations - earlier.invalidations,
+            flush_writebacks: self.flush_writebacks - earlier.flush_writebacks,
+        }
+    }
 }
 
 /// Statistics for all three levels.
@@ -37,6 +48,17 @@ pub struct HierarchyStats {
     pub l2: CacheStats,
     /// L3 counters.
     pub l3: CacheStats,
+}
+
+impl HierarchyStats {
+    /// Interval counters: `self - earlier` per level.
+    pub fn delta_since(&self, earlier: &HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1.delta_since(&earlier.l1),
+            l2: self.l2.delta_since(&earlier.l2),
+            l3: self.l3.delta_since(&earlier.l3),
+        }
+    }
 }
 
 #[cfg(test)]

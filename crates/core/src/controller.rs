@@ -37,6 +37,7 @@ use lelantus_metadata::cow_meta::{CowCache, CowMetaTable};
 use lelantus_metadata::layout::MetadataLayout;
 use lelantus_metadata::mac::{decode_mac_line, encode_mac_line, MacCache};
 use lelantus_nvm::{NvmDevice, NvmStats};
+use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES, REGION_BYTES};
 use std::collections::HashSet;
 
@@ -54,9 +55,9 @@ pub struct RecoveryReport {
 ///
 /// See the crate-level docs for an overview and example.
 #[derive(Debug)]
-pub struct SecureMemoryController {
+pub struct SecureMemoryController<P: Probe = NullProbe> {
     config: ControllerConfig,
-    nvm: NvmDevice,
+    nvm: NvmDevice<P>,
     engine: CtrEngine,
     merkle: MerkleTree,
     counter_cache: CounterCache,
@@ -72,15 +73,30 @@ pub struct SecureMemoryController {
     persisted_root: u64,
     stats: ControllerStats,
     footprint: FootprintTracker,
+    probe: P,
 }
 
 impl SecureMemoryController {
-    /// Builds a controller (and its NVM device) from `config`.
+    /// Builds an unobserved controller (and its NVM device) from
+    /// `config` (the [`NullProbe`] path: tracing compiles away).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: ControllerConfig) -> Self {
+        Self::with_probe(config, NullProbe)
+    }
+}
+
+impl<P: Probe> SecureMemoryController<P> {
+    /// Builds a controller (and its NVM device) from `config`, with
+    /// datapath events reported to `probe` (which is cloned into the
+    /// NVM device so the whole stack shares one event stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_probe(config: ControllerConfig, probe: P) -> Self {
         config.validate().expect("invalid controller config");
         let layout = MetadataLayout::for_data_bytes(config.data_bytes);
         let merkle = MerkleTree::new(
@@ -90,7 +106,7 @@ impl SecureMemoryController {
         );
         let persisted_root = merkle.root();
         Self {
-            nvm: NvmDevice::new(config.nvm.clone()),
+            nvm: NvmDevice::with_probe(config.nvm.clone(), probe.clone()),
             engine: if config.use_reference_aes {
                 CtrEngine::new_reference(config.key)
             } else {
@@ -108,6 +124,7 @@ impl SecureMemoryController {
             stats: ControllerStats::default(),
             footprint: FootprintTracker::new(config.track_footprint),
             config,
+            probe,
         }
     }
 
@@ -250,6 +267,9 @@ impl SecureMemoryController {
             return (block, now + Cycles::new(1));
         }
         self.stats.counter_fetches += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CounterFetch { region } });
+        }
         self.ensure_region_init(region);
         let caddr = self.layout.counter_addr_of_region(region);
         let (bytes, t) = self.nvm.read_line(caddr, now);
@@ -258,12 +278,22 @@ impl SecureMemoryController {
             .verify_leaf(region as usize, &bytes)
             .expect("counter-block integrity violation");
         self.stats.merkle_fetches += walk.nodes_fetched;
+        if P::ENABLED && walk.nodes_fetched > 0 {
+            self.probe.emit(Event {
+                cycle: now,
+                kind: EventKind::MerkleFetch { region, nodes: walk.nodes_fetched },
+            });
+        }
         // Tree nodes are contiguous: charge row-hit latency per fetch.
         let t = t + Cycles::new(walk.nodes_fetched * self.config.nvm.row_hit_latency);
         let block = CounterBlock::decode(&bytes, self.encoding());
         if let Some(ev) = self.counter_cache.insert(region, block, false) {
             let encoding = self.encoding();
             self.counter_nvm_write(ev.region, &ev.block, encoding, now, false);
+        }
+        if P::ENABLED {
+            self.probe
+                .record(HistKind::CounterCacheOccupancy, self.counter_cache.resident() as u64);
         }
         (block, t)
     }
@@ -277,6 +307,9 @@ impl SecureMemoryController {
         durable: bool,
     ) -> Cycles {
         self.stats.counter_writebacks += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CounterWriteback { region } });
+        }
         let bytes = block.encode(encoding);
         let caddr = self.layout.counter_addr_of_region(region);
         // Write-through counter management exists for persistence, so
@@ -289,6 +322,12 @@ impl SecureMemoryController {
         };
         let walk = self.merkle.update_leaf(region as usize, &bytes);
         self.stats.merkle_fetches += walk.nodes_fetched;
+        if P::ENABLED && walk.nodes_fetched > 0 {
+            self.probe.emit(Event {
+                cycle: now,
+                kind: EventKind::MerkleFetch { region, nodes: walk.nodes_fetched },
+            });
+        }
         self.persisted_root = self.merkle.root();
         t
     }
@@ -323,6 +362,9 @@ impl SecureMemoryController {
                     (mapping, now + Cycles::new(1))
                 } else {
                     self.stats.cow_meta_reads += 1;
+                    if P::ENABLED {
+                        self.probe.emit(Event { cycle: now, kind: EventKind::CowMetaRead { region } });
+                    }
                     let (slot_line, _off) = self.layout.cow_meta_slot_of_region(region);
                     let (_bytes, t) = self.nvm.read_line(slot_line, now);
                     let mapping = self.cow_table.get(region);
@@ -340,6 +382,9 @@ impl SecureMemoryController {
         self.cow_table.set(region, src);
         self.cow_cache.fill(region, src);
         self.stats.cow_meta_writes += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CowMetaWrite { region } });
+        }
         let (slot_line, off) = self.layout.cow_meta_slot_of_region(region);
         // Read-modify-write of the 64 B metadata line, functionally.
         let mut line = self.nvm.peek_line(slot_line);
@@ -441,7 +486,7 @@ impl SecureMemoryController {
 
     /// Resolves the plaintext of logical line `line` of `region`,
     /// following CoW chains. Returns the data, completion time, and
-    /// whether the access was redirected.
+    /// the number of chain hops followed (0 when direct).
     ///
     /// Does **not** bump `logical_reads` — callers decide whether this
     /// is an application read or controller-internal traffic.
@@ -452,14 +497,14 @@ impl SecureMemoryController {
         line: usize,
         issue_at: Cycles,
         counters_ready: Cycles,
-    ) -> ([u8; LINE_BYTES], Cycles, bool) {
+    ) -> ([u8; LINE_BYTES], Cycles, u32) {
         let mut cur_region = region;
         let mut cur_block = block;
         let mut t = counters_ready;
-        let mut redirected = false;
+        let mut hops = 0u32;
         if self.config.scheme == SchemeKind::SilentShredder && cur_block.minors[line] == 0 {
             self.stats.zero_reads += 1;
-            return ([0; LINE_BYTES], t + Cycles::new(1), false);
+            return ([0; LINE_BYTES], t + Cycles::new(1), 0);
         }
         if self.config.scheme.supports_lazy_copy() {
             loop {
@@ -471,12 +516,12 @@ impl SecureMemoryController {
                 let Some(src) = src else {
                     // Scrubbed/freed region with no mapping: zeros.
                     self.stats.zero_reads += 1;
-                    return ([0; LINE_BYTES], t + Cycles::new(1), redirected);
+                    return ([0; LINE_BYTES], t + Cycles::new(1), hops);
                 };
-                redirected = true;
+                hops += 1;
                 if self.is_zero_region(src) {
                     self.stats.zero_reads += 1;
-                    return ([0; LINE_BYTES], t + Cycles::new(1), true);
+                    return ([0; LINE_BYTES], t + Cycles::new(1), hops);
                 }
                 cur_region = src;
                 let (b, t3) = self.fetch_counter(src, t);
@@ -487,7 +532,7 @@ impl SecureMemoryController {
         let data_addr = self.line_addr(cur_region, line);
         // Redirected fetches cannot overlap with the original counter
         // fetch; direct ones can.
-        let data_issue = if redirected { t } else { issue_at };
+        let data_issue = if hops > 0 { t } else { issue_at };
         let (cipher, t_data) = self.nvm.read_line(data_addr, data_issue);
         // The MAC fetch overlaps the data fetch; verification gates
         // delivery like the pad does.
@@ -504,7 +549,7 @@ impl SecureMemoryController {
             major: cur_block.major,
             minor: cur_block.minors[line],
         };
-        (self.engine.decrypt_line(&cipher, iv), t_data.max(pad_ready).max(t_mac), redirected)
+        (self.engine.decrypt_line(&cipher, iv), t_data.max(pad_ready).max(t_mac), hops)
     }
 
     /// Reads the 64-byte line containing `addr` through the secure
@@ -520,9 +565,16 @@ impl SecureMemoryController {
         let region = self.region_of(line_addr);
         let line = line_addr.line_in_region();
         let (block, t_ctr) = self.fetch_counter(region, now);
-        let (data, done, redirected) = self.resolve_line_plain(region, block, line, now, t_ctr);
-        if redirected {
+        let (data, done, hops) = self.resolve_line_plain(region, block, line, now, t_ctr);
+        if hops > 0 {
             self.stats.redirected_reads += 1;
+            if P::ENABLED {
+                self.probe.emit(Event {
+                    cycle: now,
+                    kind: EventKind::RedirectedRead { addr: line_addr.as_u64(), hops },
+                });
+                self.probe.record(HistKind::CopyChainDepth, hops as u64);
+            }
         }
         (data, done)
     }
@@ -558,6 +610,12 @@ impl SecureMemoryController {
             t = t2;
             if src.is_some() {
                 self.stats.implicit_copies += 1;
+                if P::ENABLED {
+                    self.probe.emit(Event {
+                        cycle: now,
+                        kind: EventKind::ImplicitCopy { addr: line_addr.as_u64() },
+                    });
+                }
             }
         }
 
@@ -592,6 +650,9 @@ impl SecureMemoryController {
         now: Cycles,
     ) -> (CounterBlock, Cycles) {
         self.stats.minor_overflows += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CounterOverflow { region } });
+        }
         // Gather all plaintexts under the old epoch first.
         let mut plains = Vec::with_capacity(MINORS);
         let mut t = now;
@@ -645,6 +706,12 @@ impl SecureMemoryController {
         assert!(self.config.scheme.supports_lazy_copy(), "page_copy needs a Lelantus scheme");
         assert!(src.is_aligned_to(REGION_BYTES) && dst.is_aligned_to(REGION_BYTES));
         self.stats.cmd_page_copy += 1;
+        if P::ENABLED {
+            self.probe.emit(Event {
+                cycle: now,
+                kind: EventKind::CmdPageCopy { src: src.as_u64(), dst: dst.as_u64() },
+            });
+        }
         let t = now + Cycles::new(self.config.cmd_latency);
         let src_region = self.region_of(src);
         let dst_region = self.region_of(dst);
@@ -705,9 +772,25 @@ impl SecureMemoryController {
         let (recorded, mut t) = self.source_of(dst_region, &block, t2);
         if recorded != Some(src_region) {
             self.stats.cmd_page_phyc_rejected += 1;
+            if P::ENABLED {
+                self.probe.emit(Event {
+                    cycle: now,
+                    kind: EventKind::CmdPagePhyc {
+                        src: src.as_u64(),
+                        dst: dst.as_u64(),
+                        accepted: false,
+                    },
+                });
+            }
             return t;
         }
         self.stats.cmd_page_phyc += 1;
+        if P::ENABLED {
+            self.probe.emit(Event {
+                cycle: now,
+                kind: EventKind::CmdPagePhyc { src: src.as_u64(), dst: dst.as_u64(), accepted: true },
+            });
+        }
         let issue = t;
         let mut done = t;
         let dbg = std::env::var("LELANTUS_DEBUG_PHYC").is_ok();
@@ -753,6 +836,9 @@ impl SecureMemoryController {
         assert!(self.config.scheme.supports_lazy_copy(), "page_free needs a Lelantus scheme");
         assert!(dst.is_aligned_to(REGION_BYTES));
         self.stats.cmd_page_free += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CmdPageFree { dst: dst.as_u64() } });
+        }
         let t = now + Cycles::new(self.config.cmd_latency);
         let dst_region = self.region_of(dst);
         let (mut block, mut t) = self.fetch_counter(dst_region, t);
@@ -777,6 +863,9 @@ impl SecureMemoryController {
         assert_eq!(self.config.scheme, SchemeKind::SilentShredder, "page_init is Silent Shredder's");
         assert!(dst.is_aligned_to(REGION_BYTES));
         self.stats.cmd_page_init += 1;
+        if P::ENABLED {
+            self.probe.emit(Event { cycle: now, kind: EventKind::CmdPageInit { dst: dst.as_u64() } });
+        }
         let t = now + Cycles::new(self.config.cmd_latency);
         let dst_region = self.region_of(dst);
         let (mut block, t2) = self.fetch_counter(dst_region, t);
@@ -918,7 +1007,7 @@ impl SecureMemoryController {
     }
 }
 
-impl LineBackend for SecureMemoryController {
+impl<P: Probe> LineBackend for SecureMemoryController<P> {
     fn read_line(&mut self, addr: PhysAddr, now: Cycles) -> ([u8; LINE_BYTES], Cycles) {
         self.read_data_line(addr, now)
     }

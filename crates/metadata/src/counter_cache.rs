@@ -84,6 +84,15 @@ impl CounterCacheStats {
             self.misses as f64 / t as f64
         }
     }
+
+    /// Interval counters: `self - earlier` field by field.
+    pub fn delta_since(&self, earlier: &CounterCacheStats) -> CounterCacheStats {
+        CounterCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]

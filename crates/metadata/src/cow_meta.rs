@@ -111,6 +111,11 @@ impl CowCacheStats {
             self.misses as f64 / t as f64
         }
     }
+
+    /// Interval counters: `self - earlier` field by field.
+    pub fn delta_since(&self, earlier: &CowCacheStats) -> CowCacheStats {
+        CowCacheStats { hits: self.hits - earlier.hits, misses: self.misses - earlier.misses }
+    }
 }
 
 /// The small on-chip cache of CoW mappings.

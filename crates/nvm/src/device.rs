@@ -7,6 +7,7 @@ use crate::stats::NvmStats;
 use crate::store::LineStore;
 use crate::wear::WearTracker;
 use crate::write_queue::WriteQueue;
+use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
 
 /// The simulated non-volatile memory device.
@@ -28,7 +29,7 @@ use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
 /// assert_eq!(data, [1; 64]);
 /// ```
 #[derive(Debug)]
-pub struct NvmDevice {
+pub struct NvmDevice<P: Probe = NullProbe> {
     config: NvmConfig,
     banks: Vec<Bank>,
     /// Per-rank data-bus availability.
@@ -39,16 +40,31 @@ pub struct NvmDevice {
     wear: WearTracker,
     leveler: Option<StartGap>,
     stats: NvmStats,
+    probe: P,
 }
 
 impl NvmDevice {
-    /// Creates a device from `config`.
+    /// Creates an unobserved device from `config` (the [`NullProbe`]
+    /// path: tracing compiles away entirely).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
     /// [`NvmConfig::validate`]).
     pub fn new(config: NvmConfig) -> Self {
+        Self::with_probe(config, NullProbe)
+    }
+}
+
+impl<P: Probe> NvmDevice<P> {
+    /// Creates a device from `config` whose queue traffic is reported
+    /// to `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NvmConfig::validate`]).
+    pub fn with_probe(config: NvmConfig, probe: P) -> Self {
         config.validate().expect("invalid NVM configuration");
         let banks = (0..config.total_banks()).map(|_| Bank::new()).collect();
         let write_queue = WriteQueue::new(config.write_queue_capacity);
@@ -64,6 +80,7 @@ impl NvmDevice {
             wear: WearTracker::new(),
             leveler,
             stats: NvmStats::default(),
+            probe,
         }
     }
 
@@ -206,8 +223,23 @@ impl NvmDevice {
         // queue until the array write drains).
         let device = self.map_addr(line);
         self.contents.insert(device.as_u64(), data);
+        let pre_len = if P::ENABLED { self.write_queue.len() } else { 0 };
         match self.write_queue.push(line, data, now) {
-            None => now + Cycles::new(1),
+            None => {
+                if P::ENABLED {
+                    let depth = self.write_queue.len();
+                    self.probe.emit(Event {
+                        cycle: now,
+                        kind: EventKind::QueueAdmit {
+                            addr: line.as_u64(),
+                            depth: depth as u32,
+                            merged: depth == pre_len,
+                        },
+                    });
+                    self.probe.record(HistKind::WriteQueueDepth, depth as u64);
+                }
+                now + Cycles::new(1)
+            }
             Some(drained) => {
                 // The drained write has been eligible since it was
                 // enqueued; the controller retires it opportunistically,
@@ -218,6 +250,25 @@ impl NvmDevice {
                 let done = self.array_access(drained.addr, drained.enqueued_at, true);
                 self.stats.line_writes += 1;
                 self.wear.record_line_write(device);
+                if P::ENABLED {
+                    let depth = self.write_queue.len();
+                    self.probe.emit(Event {
+                        cycle: now,
+                        kind: EventKind::QueueDrain {
+                            addr: drained.addr.as_u64(),
+                            depth: depth.saturating_sub(1) as u32,
+                        },
+                    });
+                    self.probe.emit(Event {
+                        cycle: now,
+                        kind: EventKind::QueueAdmit {
+                            addr: line.as_u64(),
+                            depth: depth as u32,
+                            merged: false,
+                        },
+                    });
+                    self.probe.record(HistKind::WriteQueueDepth, depth as u64);
+                }
                 // The pusher stalls only until queue space exists.
                 done.max(now + Cycles::new(1))
             }
@@ -245,11 +296,20 @@ impl NvmDevice {
     /// simulation), returning the instant the last write completes.
     pub fn flush(&mut self, now: Cycles) -> Cycles {
         let mut done = now;
-        for w in self.write_queue.drain_all() {
+        let drained = self.write_queue.drain_all();
+        let mut remaining = drained.len();
+        for w in drained {
             let device = self.map_addr(w.addr);
             let t = self.array_access(w.addr, w.enqueued_at, true);
             self.stats.line_writes += 1;
             self.wear.record_line_write(device);
+            if P::ENABLED {
+                remaining -= 1;
+                self.probe.emit(Event {
+                    cycle: now,
+                    kind: EventKind::QueueDrain { addr: w.addr.as_u64(), depth: remaining as u32 },
+                });
+            }
             done = done.max(t);
         }
         done

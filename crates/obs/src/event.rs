@@ -1,0 +1,371 @@
+//! The event taxonomy: everything the simulator can attribute.
+//!
+//! One [`Event`] is a cycle stamp plus an [`EventKind`] payload. The
+//! kinds mirror the paper's mechanisms one-to-one so per-event counts
+//! reconcile exactly with the aggregate statistics structs: each
+//! emission site sits next to the counter it shadows (e.g. a
+//! `CounterFetch` event is emitted exactly where
+//! `ControllerStats::counter_fetches` is incremented).
+
+use lelantus_types::Cycles;
+use std::fmt::Write as _;
+
+/// What happened (see the variant docs for the aggregate counter each
+/// kind reconciles with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// MMIO `page_copy src, dst` (== `ControllerStats::cmd_page_copy`).
+    CmdPageCopy {
+        /// Source 4 KB region base (byte address).
+        src: u64,
+        /// Destination 4 KB region base.
+        dst: u64,
+    },
+    /// MMIO `page_phyc src, dst`. Accepted commands count toward
+    /// `cmd_page_phyc`, stale ones toward `cmd_page_phyc_rejected`
+    /// (the §III-D re-check).
+    CmdPagePhyc {
+        /// Expected source region base.
+        src: u64,
+        /// Destination region base.
+        dst: u64,
+        /// Whether the metadata still recorded `src` and the copy ran.
+        accepted: bool,
+    },
+    /// MMIO `page_free dst` (== `cmd_page_free`).
+    CmdPageFree {
+        /// Freed region base.
+        dst: u64,
+    },
+    /// Silent Shredder MMIO `page_init dst` (== `cmd_page_init`).
+    CmdPageInit {
+        /// Initialized region base.
+        dst: u64,
+    },
+    /// Kernel CoW copy fault (== `KernelStats::cow_faults`; the
+    /// `from_zero` subset == `zero_faults`).
+    CowFault {
+        /// Faulting process.
+        pid: u64,
+        /// Faulting virtual address.
+        va: u64,
+        /// Demand-zero allocation rather than a private copy.
+        from_zero: bool,
+    },
+    /// Kernel `wp_page_reuse` fault (== `reuse_faults`; the
+    /// `early_reclaim` subset also bumps `early_reclaims`).
+    ReuseFault {
+        /// Faulting process.
+        pid: u64,
+        /// Faulting virtual address.
+        va: u64,
+        /// Lelantus deferred reuse ran early reclamation first.
+        early_reclaim: bool,
+    },
+    /// A fork completed (== `KernelStats::forks`).
+    Fork {
+        /// Parent process.
+        parent: u64,
+        /// New child process.
+        child: u64,
+    },
+    /// A read chased a CoW chain to another region
+    /// (== `ControllerStats::redirected_reads`).
+    RedirectedRead {
+        /// Line address of the logical read.
+        addr: u64,
+        /// Chain hops followed to the backing data.
+        hops: u32,
+    },
+    /// First write to an uncopied line completed the copy implicitly
+    /// (== `implicit_copies`, paper §III-B).
+    ImplicitCopy {
+        /// Line address written.
+        addr: u64,
+    },
+    /// Counter-cache miss fetched a counter block from NVM
+    /// (== `counter_fetches`).
+    CounterFetch {
+        /// 4 KB region index.
+        region: u64,
+    },
+    /// A counter block was written back to NVM (== `counter_writebacks`).
+    CounterWriteback {
+        /// 4 KB region index.
+        region: u64,
+    },
+    /// Minor-counter overflow re-encrypted the region
+    /// (== `minor_overflows`, paper §V-A).
+    CounterOverflow {
+        /// Re-encrypted region index.
+        region: u64,
+    },
+    /// Bonsai Merkle Tree nodes fetched while verifying or updating a
+    /// counter block (the `nodes` fields sum to `merkle_fetches`).
+    MerkleFetch {
+        /// Region whose leaf was verified/updated.
+        region: u64,
+        /// Tree nodes fetched before hitting a cached (trusted) one.
+        nodes: u64,
+    },
+    /// Lelantus-CoW mapping-table read on a CoW-cache miss
+    /// (== `cow_meta_reads`).
+    CowMetaRead {
+        /// Region looked up.
+        region: u64,
+    },
+    /// Lelantus-CoW mapping-table slot write (== `cow_meta_writes`).
+    CowMetaWrite {
+        /// Region whose slot was rewritten.
+        region: u64,
+    },
+    /// A line write entered the NVM write queue. `merged` admissions
+    /// coalesced into an existing same-line entry
+    /// (== `NvmStats::merged_writes`).
+    QueueAdmit {
+        /// Line address admitted.
+        addr: u64,
+        /// Queue depth after the admit.
+        depth: u32,
+        /// Whether the write merged into a pending entry.
+        merged: bool,
+    },
+    /// A queued write drained to the NVM array (overflow or flush).
+    QueueDrain {
+        /// Line address drained.
+        addr: u64,
+        /// Queue depth after the drain.
+        depth: u32,
+    },
+}
+
+impl EventKind {
+    /// Number of distinct kinds (array-size constant for counters).
+    pub const COUNT: usize = 17;
+
+    /// Dense indices, in declaration order (for per-kind count arrays).
+    pub const CMD_PAGE_COPY: usize = 0;
+    /// Index of [`EventKind::CmdPagePhyc`].
+    pub const CMD_PAGE_PHYC: usize = 1;
+    /// Index of [`EventKind::CmdPageFree`].
+    pub const CMD_PAGE_FREE: usize = 2;
+    /// Index of [`EventKind::CmdPageInit`].
+    pub const CMD_PAGE_INIT: usize = 3;
+    /// Index of [`EventKind::CowFault`].
+    pub const COW_FAULT: usize = 4;
+    /// Index of [`EventKind::ReuseFault`].
+    pub const REUSE_FAULT: usize = 5;
+    /// Index of [`EventKind::Fork`].
+    pub const FORK: usize = 6;
+    /// Index of [`EventKind::RedirectedRead`].
+    pub const REDIRECTED_READ: usize = 7;
+    /// Index of [`EventKind::ImplicitCopy`].
+    pub const IMPLICIT_COPY: usize = 8;
+    /// Index of [`EventKind::CounterFetch`].
+    pub const COUNTER_FETCH: usize = 9;
+    /// Index of [`EventKind::CounterWriteback`].
+    pub const COUNTER_WRITEBACK: usize = 10;
+    /// Index of [`EventKind::CounterOverflow`].
+    pub const COUNTER_OVERFLOW: usize = 11;
+    /// Index of [`EventKind::MerkleFetch`].
+    pub const MERKLE_FETCH: usize = 12;
+    /// Index of [`EventKind::CowMetaRead`].
+    pub const COW_META_READ: usize = 13;
+    /// Index of [`EventKind::CowMetaWrite`].
+    pub const COW_META_WRITE: usize = 14;
+    /// Index of [`EventKind::QueueAdmit`].
+    pub const QUEUE_ADMIT: usize = 15;
+    /// Index of [`EventKind::QueueDrain`].
+    pub const QUEUE_DRAIN: usize = 16;
+
+    /// Dense index of this kind (stable, declaration order).
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::CmdPageCopy { .. } => Self::CMD_PAGE_COPY,
+            EventKind::CmdPagePhyc { .. } => Self::CMD_PAGE_PHYC,
+            EventKind::CmdPageFree { .. } => Self::CMD_PAGE_FREE,
+            EventKind::CmdPageInit { .. } => Self::CMD_PAGE_INIT,
+            EventKind::CowFault { .. } => Self::COW_FAULT,
+            EventKind::ReuseFault { .. } => Self::REUSE_FAULT,
+            EventKind::Fork { .. } => Self::FORK,
+            EventKind::RedirectedRead { .. } => Self::REDIRECTED_READ,
+            EventKind::ImplicitCopy { .. } => Self::IMPLICIT_COPY,
+            EventKind::CounterFetch { .. } => Self::COUNTER_FETCH,
+            EventKind::CounterWriteback { .. } => Self::COUNTER_WRITEBACK,
+            EventKind::CounterOverflow { .. } => Self::COUNTER_OVERFLOW,
+            EventKind::MerkleFetch { .. } => Self::MERKLE_FETCH,
+            EventKind::CowMetaRead { .. } => Self::COW_META_READ,
+            EventKind::CowMetaWrite { .. } => Self::COW_META_WRITE,
+            EventKind::QueueAdmit { .. } => Self::QUEUE_ADMIT,
+            EventKind::QueueDrain { .. } => Self::QUEUE_DRAIN,
+        }
+    }
+
+    /// Snake-case kind name (JSONL `kind` field, chrome-trace `name`).
+    pub fn name(&self) -> &'static str {
+        Self::name_of(self.index())
+    }
+
+    /// Name of the kind at dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= EventKind::COUNT`.
+    pub fn name_of(index: usize) -> &'static str {
+        const NAMES: [&str; EventKind::COUNT] = [
+            "cmd_page_copy",
+            "cmd_page_phyc",
+            "cmd_page_free",
+            "cmd_page_init",
+            "cow_fault",
+            "reuse_fault",
+            "fork",
+            "redirected_read",
+            "implicit_copy",
+            "counter_fetch",
+            "counter_writeback",
+            "counter_overflow",
+            "merkle_fetch",
+            "cow_meta_read",
+            "cow_meta_write",
+            "queue_admit",
+            "queue_drain",
+        ];
+        NAMES[index]
+    }
+
+    /// Renders the payload fields as JSON members (no braces), e.g.
+    /// `"src":4096,"dst":8192`. Used by both the JSONL and the
+    /// chrome-trace writers.
+    pub fn json_fields(&self) -> String {
+        let mut s = String::new();
+        match *self {
+            EventKind::CmdPageCopy { src, dst } => {
+                let _ = write!(s, "\"src\":{src},\"dst\":{dst}");
+            }
+            EventKind::CmdPagePhyc { src, dst, accepted } => {
+                let _ = write!(s, "\"src\":{src},\"dst\":{dst},\"accepted\":{accepted}");
+            }
+            EventKind::CmdPageFree { dst } | EventKind::CmdPageInit { dst } => {
+                let _ = write!(s, "\"dst\":{dst}");
+            }
+            EventKind::CowFault { pid, va, from_zero } => {
+                let _ = write!(s, "\"pid\":{pid},\"va\":{va},\"from_zero\":{from_zero}");
+            }
+            EventKind::ReuseFault { pid, va, early_reclaim } => {
+                let _ = write!(s, "\"pid\":{pid},\"va\":{va},\"early_reclaim\":{early_reclaim}");
+            }
+            EventKind::Fork { parent, child } => {
+                let _ = write!(s, "\"parent\":{parent},\"child\":{child}");
+            }
+            EventKind::RedirectedRead { addr, hops } => {
+                let _ = write!(s, "\"addr\":{addr},\"hops\":{hops}");
+            }
+            EventKind::ImplicitCopy { addr } => {
+                let _ = write!(s, "\"addr\":{addr}");
+            }
+            EventKind::CounterFetch { region }
+            | EventKind::CounterWriteback { region }
+            | EventKind::CounterOverflow { region }
+            | EventKind::CowMetaRead { region }
+            | EventKind::CowMetaWrite { region } => {
+                let _ = write!(s, "\"region\":{region}");
+            }
+            EventKind::MerkleFetch { region, nodes } => {
+                let _ = write!(s, "\"region\":{region},\"nodes\":{nodes}");
+            }
+            EventKind::QueueAdmit { addr, depth, merged } => {
+                let _ = write!(s, "\"addr\":{addr},\"depth\":{depth},\"merged\":{merged}");
+            }
+            EventKind::QueueDrain { addr, depth } => {
+                let _ = write!(s, "\"addr\":{addr},\"depth\":{depth}");
+            }
+        }
+        s
+    }
+}
+
+/// One traced occurrence: a cycle stamp plus the kind payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle the event was observed at.
+    pub cycle: Cycles,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One JSONL line (no trailing newline), e.g.
+    /// `{"cycle":42,"kind":"counter_fetch","region":7}`.
+    pub fn to_jsonl(&self) -> String {
+        let fields = self.kind.json_fields();
+        format!(
+            "{{\"cycle\":{},\"kind\":\"{}\",{fields}}}",
+            self.cycle.as_u64(),
+            self.kind.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<EventKind> {
+        vec![
+            EventKind::CmdPageCopy { src: 0, dst: 4096 },
+            EventKind::CmdPagePhyc { src: 0, dst: 4096, accepted: true },
+            EventKind::CmdPageFree { dst: 4096 },
+            EventKind::CmdPageInit { dst: 4096 },
+            EventKind::CowFault { pid: 1, va: 2, from_zero: false },
+            EventKind::ReuseFault { pid: 1, va: 2, early_reclaim: true },
+            EventKind::Fork { parent: 1, child: 2 },
+            EventKind::RedirectedRead { addr: 64, hops: 2 },
+            EventKind::ImplicitCopy { addr: 64 },
+            EventKind::CounterFetch { region: 3 },
+            EventKind::CounterWriteback { region: 3 },
+            EventKind::CounterOverflow { region: 3 },
+            EventKind::MerkleFetch { region: 3, nodes: 4 },
+            EventKind::CowMetaRead { region: 3 },
+            EventKind::CowMetaWrite { region: 3 },
+            EventKind::QueueAdmit { addr: 64, depth: 5, merged: false },
+            EventKind::QueueDrain { addr: 64, depth: 4 },
+        ]
+    }
+
+    #[test]
+    fn indices_are_dense_and_names_distinct() {
+        let kinds = one_of_each();
+        assert_eq!(kinds.len(), EventKind::COUNT);
+        let mut names = std::collections::HashSet::new();
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?} out of declaration order");
+            assert!(names.insert(k.name()), "duplicate name {}", k.name());
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        for kind in one_of_each() {
+            let line = Event { cycle: Cycles::new(9), kind }.to_jsonl();
+            assert!(line.starts_with("{\"cycle\":9,\"kind\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), 1, "flat object: {line}");
+            // Balanced quotes (all keys/values are unquoted numbers or
+            // booleans except the kind name).
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_payload_fields() {
+        let e = Event {
+            cycle: Cycles::new(100),
+            kind: EventKind::QueueAdmit { addr: 128, depth: 3, merged: true },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"cycle\":100,\"kind\":\"queue_admit\",\"addr\":128,\"depth\":3,\"merged\":true}"
+        );
+    }
+}

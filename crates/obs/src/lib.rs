@@ -1,0 +1,52 @@
+//! Observability layer: structured event tracing for the simulator.
+//!
+//! The paper's analysis (Figs. 2–11, Table V) is about *when* and
+//! *why* copy traffic happens — CoW faults, redirected reads, implicit
+//! copies, counter overflows — but aggregate counters cannot attribute
+//! a regression to a phase or a page. This crate adds a tracing seam
+//! that every component of the stack (`NvmDevice`, the secure memory
+//! controller, the `System` wrapper) is generic over:
+//!
+//! * [`Probe`] — the sink trait. Components carry a `P: Probe` type
+//!   parameter defaulting to [`NullProbe`], whose associated
+//!   `const ENABLED: bool = false` lets every call site guard with
+//!   `if P::ENABLED { ... }`; the branch and the event construction
+//!   monomorphize away, so the untraced simulator is bit- and
+//!   cycle-identical to one with no tracing code at all.
+//! * [`Event`]/[`EventKind`] — the event taxonomy: MMIO CoW commands,
+//!   kernel faults, redirected reads, implicit copies, counter and
+//!   Merkle metadata traffic, and NVM write-queue activity, each
+//!   stamped with the simulated cycle.
+//! * [`Histogram`]/[`HistKind`] — log2-bucket distributions (write
+//!   queue depth, copy-chain depth, counter-cache occupancy, per-fault
+//!   service cycles) recorded alongside the events.
+//! * Sinks: [`RingProbe`] (bounded in-memory ring + per-kind counts),
+//!   [`JsonlProbe`] (streaming JSONL file), [`TeeProbe`] (fan-out),
+//!   and `Option<P>` (runtime-optional sink).
+//! * [`chrome_trace`] — renders captured events and counter series as
+//!   a chrome://tracing / Perfetto-compatible JSON document.
+//!
+//! # Examples
+//!
+//! ```
+//! use lelantus_obs::{Event, EventKind, Probe, RingProbe};
+//! use lelantus_types::Cycles;
+//!
+//! let probe = RingProbe::new(16);
+//! probe.emit(Event {
+//!     cycle: Cycles::new(42),
+//!     kind: EventKind::CounterFetch { region: 7 },
+//! });
+//! assert_eq!(probe.count(EventKind::COUNTER_FETCH), 1);
+//! assert_eq!(probe.events()[0].cycle, Cycles::new(42));
+//! ```
+
+pub mod event;
+pub mod hist;
+pub mod probe;
+pub mod trace;
+
+pub use event::{Event, EventKind};
+pub use hist::{HistKind, Histogram, HistogramSet};
+pub use probe::{JsonlProbe, NullProbe, Probe, RingProbe, TeeProbe};
+pub use trace::{chrome_trace, CounterSeries};

@@ -164,6 +164,22 @@ pub struct KernelStats {
     pub pages_freed: u64,
 }
 
+impl KernelStats {
+    /// Interval counters: `self - earlier` field by field.
+    pub fn delta_since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            cow_faults: self.cow_faults - earlier.cow_faults,
+            zero_faults: self.zero_faults - earlier.zero_faults,
+            reuse_faults: self.reuse_faults - earlier.reuse_faults,
+            early_reclaims: self.early_reclaims - earlier.early_reclaims,
+            phyc_cmds: self.phyc_cmds - earlier.phyc_cmds,
+            forks: self.forks - earlier.forks,
+            pages_allocated: self.pages_allocated - earlier.pages_allocated,
+            pages_freed: self.pages_freed - earlier.pages_freed,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Process {
     page_table: PageTable,

@@ -38,6 +38,11 @@ pub struct SimConfig {
     pub op_cost: u64,
     /// Data-TLB geometry and walk cost.
     pub tlb: TlbConfig,
+    /// Epoch-sampler period in cycles: every `epoch_interval` simulated
+    /// cycles the `System` snapshots interval metrics into a time
+    /// series (see `System::epochs`). 0 (the default) disables
+    /// sampling entirely.
+    pub epoch_interval: u64,
 }
 
 /// Maps the kernel-side strategy onto the controller-side scheme.
@@ -64,7 +69,15 @@ impl SimConfig {
             fault_cost: 600,
             op_cost: 1,
             tlb: TlbConfig::default(),
+            epoch_interval: 0,
         }
+    }
+
+    /// Enables the epoch sampler with the given period (cycles); 0
+    /// disables it.
+    pub fn with_epoch_interval(mut self, cycles: u64) -> Self {
+        self.epoch_interval = cycles;
+        self
     }
 
     /// Same system with the counter cache in write-through mode

@@ -46,5 +46,13 @@ pub mod system;
 pub mod tlb;
 
 pub use config::SimConfig;
-pub use metrics::SimMetrics;
+pub use metrics::{EpochSample, SimMetrics};
 pub use system::System;
+
+// Re-export the observability surface so downstream crates (workloads,
+// benches, the CLI) can name probes without depending on lelantus-obs
+// directly.
+pub use lelantus_obs::{
+    chrome_trace, CounterSeries, Event, EventKind, HistKind, Histogram, HistogramSet, JsonlProbe,
+    NullProbe, Probe, RingProbe, TeeProbe,
+};

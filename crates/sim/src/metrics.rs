@@ -10,7 +10,7 @@ use crate::tlb::TlbStats;
 use lelantus_types::Cycles;
 
 /// Everything the experiment harnesses need, in one snapshot.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimMetrics {
     /// Simulated time elapsed.
     pub cycles: Cycles,
@@ -31,29 +31,18 @@ pub struct SimMetrics {
 }
 
 impl SimMetrics {
-    /// Interval metrics: `self - earlier` for the counters and the
+    /// Interval metrics: `self - earlier` for every counter and the
     /// cycle difference.
     pub fn delta_since(&self, earlier: &SimMetrics) -> SimMetrics {
         SimMetrics {
             cycles: self.cycles - earlier.cycles,
             nvm: self.nvm.delta_since(&earlier.nvm),
             controller: self.controller.delta_since(&earlier.controller),
-            kernel: KernelStats {
-                cow_faults: self.kernel.cow_faults - earlier.kernel.cow_faults,
-                zero_faults: self.kernel.zero_faults - earlier.kernel.zero_faults,
-                reuse_faults: self.kernel.reuse_faults - earlier.kernel.reuse_faults,
-                early_reclaims: self.kernel.early_reclaims - earlier.kernel.early_reclaims,
-                phyc_cmds: self.kernel.phyc_cmds - earlier.kernel.phyc_cmds,
-                forks: self.kernel.forks - earlier.kernel.forks,
-                pages_allocated: self.kernel.pages_allocated - earlier.kernel.pages_allocated,
-                pages_freed: self.kernel.pages_freed - earlier.kernel.pages_freed,
-            },
-            // Cache stats deltas are rarely needed per interval; carry
-            // the endpoint values.
-            caches: self.caches,
-            counter_cache: self.counter_cache,
-            cow_cache: self.cow_cache,
-            tlb: self.tlb,
+            kernel: self.kernel.delta_since(&earlier.kernel),
+            caches: self.caches.delta_since(&earlier.caches),
+            counter_cache: self.counter_cache.delta_since(&earlier.counter_cache),
+            cow_cache: self.cow_cache.delta_since(&earlier.cow_cache),
+            tlb: self.tlb.delta_since(&earlier.tlb),
         }
     }
 
@@ -84,6 +73,16 @@ impl SimMetrics {
     }
 }
 
+/// One epoch of the time series the epoch sampler produces: the
+/// interval metrics for `(end_cycle - delta.cycles, end_cycle]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSample {
+    /// Simulated cycle the epoch closed at.
+    pub end_cycle: Cycles,
+    /// True interval counters for the epoch (not running totals).
+    pub delta: SimMetrics,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +110,31 @@ mod tests {
         let a = SimMetrics { cycles: Cycles::new(100), ..Default::default() };
         let b = SimMetrics { cycles: Cycles::new(175), ..Default::default() };
         assert_eq!(b.delta_since(&a).cycles, Cycles::new(75));
+    }
+
+    #[test]
+    fn delta_subtracts_every_group() {
+        use lelantus_cache::CacheStats;
+        let mut a = SimMetrics::default();
+        a.caches.l1 = CacheStats { hits: 10, misses: 2, ..Default::default() };
+        a.counter_cache.hits = 5;
+        a.cow_cache.misses = 3;
+        a.tlb.walks = 7;
+        a.kernel.forks = 1;
+        let mut b = a;
+        b.caches.l1.hits = 25;
+        b.counter_cache.hits = 9;
+        b.cow_cache.misses = 4;
+        b.tlb.walks = 11;
+        b.kernel.forks = 3;
+        let d = b.delta_since(&a);
+        assert_eq!(d.caches.l1.hits, 15, "cache stats must be true deltas");
+        assert_eq!(d.caches.l1.misses, 0);
+        assert_eq!(d.counter_cache.hits, 4);
+        assert_eq!(d.cow_cache.misses, 1);
+        assert_eq!(d.tlb.walks, 4);
+        assert_eq!(d.kernel.forks, 2);
+        // Subtracting a snapshot from itself yields all-zero deltas.
+        assert_eq!(b.delta_since(&b), SimMetrics::default());
     }
 }

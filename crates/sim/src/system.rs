@@ -1,11 +1,12 @@
 //! The [`System`]: one simulated machine.
 
 use crate::config::SimConfig;
-use crate::metrics::SimMetrics;
+use crate::metrics::{EpochSample, SimMetrics};
 use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
 use lelantus_cache::CacheHierarchy;
 use lelantus_core::SecureMemoryController;
-use lelantus_os::kernel::{AccessKind, HwAction, Kernel, ProcessId};
+use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
+use lelantus_os::kernel::{AccessKind, FaultKind, HwAction, Kernel, ProcessId};
 use lelantus_os::ksm::{merge_pass, KsmCandidate};
 use lelantus_os::OsError;
 use lelantus_types::{Cycles, PageSize, PhysAddr, VirtAddr, LINE_BYTES};
@@ -18,11 +19,11 @@ use std::hash::{Hash, Hasher};
 /// a consistent snapshot at any point. Call [`System::finish`] before
 /// final measurements so buffered writes reach the NVM array.
 #[derive(Debug)]
-pub struct System {
+pub struct System<P: Probe = NullProbe> {
     config: SimConfig,
     kernel: Kernel,
     caches: CacheHierarchy,
-    ctrl: SecureMemoryController,
+    ctrl: SecureMemoryController<P>,
     tlb: Tlb,
     /// Per-core clocks (paper Table III: 8 cores). Work issued on
     /// different cores overlaps in time; the shared memory system
@@ -30,25 +31,79 @@ pub struct System {
     clocks: Vec<Cycles>,
     /// Core issuing the next operations (see [`System::use_core`]).
     active: usize,
+    probe: P,
+    /// Epoch sampler state: metrics at the last epoch boundary, the
+    /// next boundary cycle, and the collected time series.
+    epoch_last: SimMetrics,
+    epoch_next: u64,
+    epoch_samples: Vec<EpochSample>,
 }
 
 impl System {
-    /// Boots a system from `config`.
+    /// Boots an unobserved system from `config` (the [`NullProbe`]
+    /// path: event tracing compiles away entirely).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent.
     pub fn new(config: SimConfig) -> Self {
+        Self::with_probe(config, NullProbe)
+    }
+}
+
+impl<P: Probe> System<P> {
+    /// Boots a system whose stack reports events to `probe` (cloned
+    /// into the controller and NVM device so all layers share one
+    /// ordered event stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn with_probe(config: SimConfig, probe: P) -> Self {
         config.validate().expect("invalid sim config");
         Self {
             kernel: Kernel::new(config.kernel),
             caches: CacheHierarchy::new(config.caches),
-            ctrl: SecureMemoryController::new(config.controller.clone()),
+            ctrl: SecureMemoryController::with_probe(config.controller.clone(), probe.clone()),
             tlb: Tlb::new(config.tlb),
             clocks: vec![Cycles::ZERO; 8],
             active: 0,
+            probe,
+            epoch_last: SimMetrics::default(),
+            epoch_next: config.epoch_interval,
+            epoch_samples: Vec::new(),
             config,
         }
+    }
+
+    /// The probe this system reports to.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The epoch time series collected so far (empty unless
+    /// `SimConfig::epoch_interval` is non-zero).
+    pub fn epochs(&self) -> &[EpochSample] {
+        &self.epoch_samples
+    }
+
+    /// Samples the epoch time series when the clock has crossed the
+    /// next boundary. At most one sample per call; the boundary then
+    /// re-aligns to the cycle grid past the current time.
+    fn epoch_tick(&mut self) {
+        let interval = self.config.epoch_interval;
+        if interval == 0 {
+            return;
+        }
+        let now = self.now().as_u64();
+        if now < self.epoch_next {
+            return;
+        }
+        let snap = self.metrics();
+        self.epoch_samples
+            .push(EpochSample { end_cycle: snap.cycles, delta: snap.delta_since(&self.epoch_last) });
+        self.epoch_last = snap;
+        self.epoch_next = (now / interval + 1) * interval;
     }
 
     /// Selects the core that issues subsequent operations (0..=7).
@@ -94,7 +149,7 @@ impl System {
     }
 
     /// Controller handle (read-only).
-    pub fn controller(&self) -> &SecureMemoryController {
+    pub fn controller(&self) -> &SecureMemoryController<P> {
         &self.ctrl
     }
 
@@ -141,6 +196,13 @@ impl System {
         // Fork write-protects every anonymous PTE: full TLB shootdown.
         self.tlb.flush_all();
         self.execute_actions(&actions);
+        if P::ENABLED {
+            self.probe.emit(Event {
+                cycle: self.clocks[self.active],
+                kind: EventKind::Fork { parent, child },
+            });
+        }
+        self.epoch_tick();
         Ok(child)
     }
 
@@ -155,6 +217,7 @@ impl System {
         let actions = self.kernel.exit(pid)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
+        self.epoch_tick();
         Ok(())
     }
 
@@ -280,10 +343,29 @@ impl System {
             self.clocks[self.active] += Cycles::new(self.tlb.charge(&outcome));
         }
         let outcome = self.kernel.access(pid, va, kind)?;
-        if outcome.fault.is_some() {
+        if let Some(fault) = &outcome.fault {
+            let fault_start = self.clocks[self.active];
             self.clocks[self.active] += Cycles::new(self.config.fault_cost);
             self.tlb.invalidate_page(pid, va);
             self.execute_actions(&outcome.actions);
+            if P::ENABLED {
+                let end = self.clocks[self.active];
+                let kind = match fault {
+                    FaultKind::CowCopy { from_zero, .. } => EventKind::CowFault {
+                        pid,
+                        va: va.as_u64(),
+                        from_zero: *from_zero,
+                    },
+                    FaultKind::WpReuse => {
+                        EventKind::ReuseFault { pid, va: va.as_u64(), early_reclaim: false }
+                    }
+                    FaultKind::EarlyReclaim { .. } => {
+                        EventKind::ReuseFault { pid, va: va.as_u64(), early_reclaim: true }
+                    }
+                };
+                self.probe.emit(Event { cycle: end, kind });
+                self.probe.record(HistKind::FaultServiceCycles, (end - fault_start).as_u64());
+            }
         }
         if let Some((pa_base, size, writable)) = self.kernel.pte_info(pid, va) {
             self.tlb.fill(pid, va, TlbEntry { pa_base, size, writable });
@@ -302,7 +384,7 @@ impl System {
         self.clocks[self.active] += Cycles::new(self.config.op_cost);
         let kind = if data.is_some() { AccessKind::Write } else { AccessKind::Read };
         let pa = self.translate_timed(pid, va, kind)?;
-        match data {
+        let result = match data {
             Some(bytes) => {
                 let now = self.clocks[self.active];
                 let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
@@ -315,7 +397,9 @@ impl System {
                 self.clocks[self.active] = done;
                 Ok(bytes)
             }
-        }
+        };
+        self.epoch_tick();
+        result
     }
 
     /// Writes `bytes` at `va`, splitting at cacheline boundaries.
@@ -372,6 +456,7 @@ impl System {
             self.clocks[self.active] = t;
             offset += take;
         }
+        self.epoch_tick();
         Ok(())
     }
 
@@ -507,7 +592,18 @@ impl System {
         let t = self.ctrl.flush_all(self.clocks[self.active]);
         self.clocks[self.active] = self.clocks[self.active].max(t);
         self.sync_cores();
-        self.metrics()
+        let m = self.metrics();
+        // Close the trailing partial epoch so the series sums to the
+        // run's totals.
+        if let Some(intervals) = m.cycles.as_u64().checked_div(self.config.epoch_interval) {
+            let delta = m.delta_since(&self.epoch_last);
+            if delta != SimMetrics::default() {
+                self.epoch_samples.push(EpochSample { end_cycle: m.cycles, delta });
+                self.epoch_last = m;
+            }
+            self.epoch_next = (intervals + 1) * self.config.epoch_interval;
+        }
+        m
     }
 }
 

@@ -84,6 +84,16 @@ impl TlbStats {
             self.walks as f64 / total as f64
         }
     }
+
+    /// Interval counters: `self - earlier` field by field.
+    pub fn delta_since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            walks: self.walks - earlier.walks,
+            shootdowns: self.shootdowns - earlier.shootdowns,
+        }
+    }
 }
 
 /// Outcome of a lookup: where it hit and the extra cycles charged.

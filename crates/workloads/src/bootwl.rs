@@ -10,7 +10,7 @@
 use crate::common::{init_all_lines, rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::System;
+use lelantus_sim::{Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
 
@@ -40,12 +40,12 @@ impl Boot {
     }
 }
 
-impl Workload for Boot {
+impl<P: Probe> Workload<P> for Boot {
     fn name(&self) -> &'static str {
         "boot"
     }
 
-    fn run(&self, sys: &mut System) -> Result<WorkloadRun, OsError> {
+    fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError> {
         let mut r = rng(self.seed);
         let page_bytes = sys.config().page_size.bytes();
 

@@ -2,7 +2,7 @@
 
 use lelantus_os::kernel::ProcessId;
 use lelantus_os::OsError;
-use lelantus_sim::System;
+use lelantus_sim::{Probe, System};
 use lelantus_types::{PageSize, VirtAddr, LINE_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +25,8 @@ pub fn rng(seed: u64) -> StdRng {
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn update_spread(
-    sys: &mut System,
+pub fn update_spread<P: Probe>(
+    sys: &mut System<P>,
     pid: ProcessId,
     page_va: VirtAddr,
     page_size: PageSize,
@@ -63,8 +63,8 @@ pub fn update_spread(
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn init_all_lines(
-    sys: &mut System,
+pub fn init_all_lines<P: Probe>(
+    sys: &mut System<P>,
     pid: ProcessId,
     va: VirtAddr,
     len: u64,

@@ -8,7 +8,7 @@
 use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::System;
+use lelantus_sim::{Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
 
@@ -36,12 +36,12 @@ impl Compile {
     }
 }
 
-impl Workload for Compile {
+impl<P: Probe> Workload<P> for Compile {
     fn name(&self) -> &'static str {
         "compile"
     }
 
-    fn run(&self, sys: &mut System) -> Result<WorkloadRun, OsError> {
+    fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError> {
         let mut r = rng(self.seed);
 
         // Setup: the driver process with its own image.

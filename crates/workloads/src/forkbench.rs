@@ -10,7 +10,7 @@
 use crate::common::update_spread;
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::System;
+use lelantus_sim::{Probe, System};
 
 /// Forkbench parameters.
 #[derive(Debug, Clone, Copy)]
@@ -41,12 +41,12 @@ impl Forkbench {
     }
 }
 
-impl Workload for Forkbench {
+impl<P: Probe> Workload<P> for Forkbench {
     fn name(&self) -> &'static str {
         "forkbench"
     }
 
-    fn run(&self, sys: &mut System) -> Result<WorkloadRun, OsError> {
+    fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError> {
         let page_size = sys.config().page_size;
         let page_bytes = page_size.bytes();
         let pages = self.total_bytes / page_bytes;

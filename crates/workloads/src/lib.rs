@@ -38,7 +38,7 @@ pub mod rediswl;
 pub mod shellwl;
 
 use lelantus_os::OsError;
-use lelantus_sim::{SimMetrics, System};
+use lelantus_sim::{NullProbe, Probe, SimMetrics, System};
 
 /// Result of one measured workload phase.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +51,12 @@ pub struct WorkloadRun {
 }
 
 /// A benchmark that drives a [`System`].
-pub trait Workload {
+///
+/// Generic over the system's [`Probe`] (defaulting to [`NullProbe`])
+/// so the same workload can drive both untraced and traced runs;
+/// `Box<dyn Workload>` still means the untraced `dyn
+/// Workload<NullProbe>`.
+pub trait Workload<P: Probe = NullProbe> {
     /// Display name (matches the paper's Table IV).
     fn name(&self) -> &'static str;
 
@@ -61,7 +66,7 @@ pub trait Workload {
     /// # Errors
     ///
     /// Propagates simulator/kernel errors.
-    fn run(&self, sys: &mut System) -> Result<WorkloadRun, OsError>;
+    fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError>;
 }
 
 /// All six paper workloads at benchmark scale, boxed for iteration

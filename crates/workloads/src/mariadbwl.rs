@@ -9,7 +9,7 @@
 use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::System;
+use lelantus_sim::{Probe, System};
 use lelantus_types::LINE_BYTES;
 
 /// MariaDB load-phase parameters.
@@ -52,12 +52,12 @@ impl Mariadb {
     }
 }
 
-impl Workload for Mariadb {
+impl<P: Probe> Workload<P> for Mariadb {
     fn name(&self) -> &'static str {
         "mariadb"
     }
 
-    fn run(&self, sys: &mut System) -> Result<WorkloadRun, OsError> {
+    fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError> {
         let mut r = rng(self.seed);
         let row_bytes = 128u64; // two cachelines per employee row
 

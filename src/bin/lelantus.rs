@@ -8,10 +8,16 @@
 //!
 //! `run` executes one workload on one scheme and prints its metrics;
 //! `compare` runs all four schemes and reports speedups and write
-//! reductions against the baseline (a single Fig 9 column).
+//! reductions against the baseline (a single Fig 9 column);
+//! `report` runs one workload with tracing enabled and produces the
+//! attribution story: per-event counts, latency histograms, an epoch
+//! time series, and optional JSONL / chrome://tracing exports.
 
 use lelantus::os::CowStrategy;
-use lelantus::sim::{SimConfig, SimMetrics, System};
+use lelantus::sim::{
+    chrome_trace, CounterSeries, EventKind, HistKind, JsonlProbe, Probe, RingProbe, SimConfig,
+    SimMetrics, System, TeeProbe,
+};
 use lelantus::types::PageSize;
 use lelantus::workloads::{
     bootwl::Boot, compilewl::Compile, forkbench::Forkbench, hotspot::Hotspot,
@@ -30,6 +36,8 @@ fn usage() -> ExitCode {
   lelantus list
   lelantus run     --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale small|medium|paper] [--json]
   lelantus compare --workload <name> [--pages 4k|2m] [--scale ...] [--json]
+  lelantus report  --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
+                   [--epoch <cycles>] [--ring <events>] [--events <out.jsonl>] [--trace <out.json>]
 
 workloads: {}
 schemes:   {} (default: lelantus)",
@@ -76,7 +84,7 @@ fn pages_of(name: &str) -> Option<PageSize> {
     }
 }
 
-fn workload_of(name: &str, scale: &str) -> Option<Box<dyn Workload>> {
+fn workload_of<P: Probe>(name: &str, scale: &str) -> Option<Box<dyn Workload<P>>> {
     let small = scale == "small";
     let paper = scale == "paper";
     Some(match name {
@@ -185,6 +193,214 @@ fn json_metrics(m: &SimMetrics) -> String {
     )
 }
 
+/// The `report` subcommand's probe: a bounded ring for the in-process
+/// summary teed with an optional streaming JSONL file. One
+/// monomorphization covers both `--events` and not.
+type ReportProbe = TeeProbe<RingProbe, Option<JsonlProbe>>;
+
+fn hist_json(h: &lelantus::sim::Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p99\":{}}}",
+        h.count,
+        h.mean(),
+        h.max,
+        h.quantile_bound(0.50),
+        h.quantile_bound(0.99),
+    )
+}
+
+fn report(flags: &HashMap<String, String>) -> ExitCode {
+    let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
+    let Some(wl_name) = flags.get("workload") else {
+        eprintln!("error: --workload is required");
+        return usage();
+    };
+    let Some(workload) = workload_of::<ReportProbe>(wl_name, scale) else {
+        eprintln!("error: unknown workload `{wl_name}`");
+        return usage();
+    };
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let Some(strategy) = scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+    else {
+        eprintln!("error: bad --scheme");
+        return usage();
+    };
+    let epoch: u64 = match flags.get("epoch").map(String::as_str).unwrap_or("100000").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: bad --epoch");
+            return usage();
+        }
+    };
+    let ring_cap: usize = match flags.get("ring").map(String::as_str).unwrap_or("65536").parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("error: --ring needs a positive event count");
+            return usage();
+        }
+    };
+    let jsonl = match flags.get("events") {
+        Some(path) => match JsonlProbe::create(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let json = flags.contains_key("json");
+
+    let ring = RingProbe::new(ring_cap);
+    let probe = TeeProbe::new(ring.clone(), jsonl.clone());
+    let cfg = SimConfig::new(strategy, pages).with_epoch_interval(epoch);
+    let mut sys = System::with_probe(cfg, probe);
+    let run = workload.run(&mut sys).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    let m = run.measured;
+    let full = sys.metrics();
+    let counts = ring.counts();
+    let hists = ring.histograms();
+    let epochs = sys.epochs().to_vec();
+
+    if let Some(p) = &jsonl {
+        if let Err(e) = p.flush() {
+            eprintln!("warning: flushing {} failed: {e}", p.path().display());
+        }
+    }
+
+    // Epoch counter tracks: the attribution time series both the
+    // chrome trace and the JSON report carry.
+    let series: Vec<CounterSeries> = [
+        ("nvm_line_writes", Box::new(|d: &SimMetrics| d.nvm.line_writes) as Box<dyn Fn(&SimMetrics) -> u64>),
+        ("cow_faults", Box::new(|d: &SimMetrics| d.kernel.cow_faults)),
+        ("redirected_reads", Box::new(|d: &SimMetrics| d.controller.redirected_reads)),
+        ("counter_fetches", Box::new(|d: &SimMetrics| d.controller.counter_fetches)),
+    ]
+    .into_iter()
+    .map(|(name, get)| CounterSeries {
+        name: format!("{name}_per_epoch"),
+        points: epochs
+            .iter()
+            .map(|e| (e.end_cycle.as_u64(), get(&e.delta) as f64))
+            .collect(),
+    })
+    .collect();
+
+    if let Some(path) = flags.get("trace") {
+        let doc = chrome_trace(&ring.events(), &series);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if json {
+        let events: Vec<String> = (0..EventKind::COUNT)
+            .filter(|&i| counts[i] > 0)
+            .map(|i| format!("\"{}\":{}", EventKind::name_of(i), counts[i]))
+            .collect();
+        let hist_body: Vec<String> = HistKind::ALL
+            .iter()
+            .filter(|k| hists.get(**k).count > 0)
+            .map(|k| format!("\"{}\":{}", k.name(), hist_json(hists.get(*k))))
+            .collect();
+        let epoch_body: Vec<String> = epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"end_cycle\":{},\"cycles\":{},\"nvm_writes\":{},\"cow_faults\":{},\"redirected_reads\":{},\"counter_fetches\":{}}}",
+                    e.end_cycle.as_u64(),
+                    e.delta.cycles.as_u64(),
+                    e.delta.nvm.line_writes,
+                    e.delta.kernel.cow_faults,
+                    e.delta.controller.redirected_reads,
+                    e.delta.controller.counter_fetches,
+                )
+            })
+            .collect();
+        println!(
+            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"epochs\":[{}]}}",
+            workload.name(),
+            json_metrics(&m),
+            json_metrics(&full),
+            events.join(","),
+            ring.total(),
+            ring.dropped(),
+            hist_body.join(","),
+            epoch_body.join(","),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print_metrics_text(
+        &format!("{} / {strategy} / {pages} pages (epoch {epoch} cycles)", workload.name()),
+        &m,
+    );
+    println!();
+    println!(
+        "events: {} emitted, ring kept {}, dropped {}",
+        ring.total(),
+        ring.events().len(),
+        ring.dropped()
+    );
+    println!("  (events cover the whole run; headline metrics above are the measured interval)");
+    println!(
+        "  full run: {} nvm writes, {} cow faults, {} redirected reads, {} counter fetches",
+        full.nvm.line_writes,
+        full.kernel.cow_faults,
+        full.controller.redirected_reads,
+        full.controller.counter_fetches
+    );
+    for (i, &n) in counts.iter().enumerate() {
+        if n > 0 {
+            println!("  {:<20} {n:>12}", EventKind::name_of(i));
+        }
+    }
+    println!();
+    for kind in HistKind::ALL {
+        let h = hists.get(kind);
+        if h.count > 0 {
+            println!("histogram {}:", kind.name());
+            for line in h.to_string().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    if !epochs.is_empty() {
+        const SHOWN: usize = 12;
+        println!();
+        println!("epochs: {} of {epoch} cycles (showing first {})", epochs.len(), SHOWN.min(epochs.len()));
+        println!(
+            "  {:>14}  {:>10}  {:>10}  {:>12}  {:>12}",
+            "end_cycle", "nvm_wr", "cow_faults", "redir_reads", "ctr_fetches"
+        );
+        for e in epochs.iter().take(SHOWN) {
+            println!(
+                "  {:>14}  {:>10}  {:>10}  {:>12}  {:>12}",
+                e.end_cycle.as_u64(),
+                e.delta.nvm.line_writes,
+                e.delta.kernel.cow_faults,
+                e.delta.controller.redirected_reads,
+                e.delta.controller.counter_fetches,
+            );
+        }
+    }
+    if let Some(p) = &jsonl {
+        println!();
+        println!("events JSONL: {}", p.path().display());
+    }
+    if let Some(path) = flags.get("trace") {
+        println!("chrome trace: {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -196,6 +412,13 @@ fn main() -> ExitCode {
             println!("scales:    small, medium, paper");
             ExitCode::SUCCESS
         }
+        "report" => match parse_flags(&args[1..]) {
+            Ok(flags) => report(&flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
         "run" | "compare" => {
             let flags = match parse_flags(&args[1..]) {
                 Ok(f) => f,

@@ -1,0 +1,197 @@
+//! Observability-layer invariants.
+//!
+//! Three properties keep the probe layer honest:
+//!
+//! 1. **Observer-effect freedom** — attaching a recording probe must
+//!    not change a single simulated number, and the default
+//!    `NullProbe` build must match it bit for bit.
+//! 2. **Determinism** — two identical traced runs produce the same
+//!    event stream, cycle stamps included.
+//! 3. **Reconciliation** — per-event counts agree *exactly* with the
+//!    aggregate counters the simulator already keeps; an event stream
+//!    that drifts from the stats it narrates is worse than none.
+
+use lelantus::os::CowStrategy;
+use lelantus::sim::{EventKind, HistKind, RingProbe, SimConfig, SimMetrics, System};
+use lelantus::types::PageSize;
+
+const PAGE: u64 = 4096;
+const PAGES: u64 = 64;
+
+fn config(strategy: CowStrategy) -> SimConfig {
+    SimConfig::new(strategy, PageSize::Regular4K).with_phys_bytes(16 << 20)
+}
+
+/// A deterministic scenario touching every traced subsystem: demand
+/// zero, fork, CoW faults in the child, reads through lazy-copy
+/// chains, reuse faults in the parent after the child exits, and a
+/// final flush.
+fn drive<P: lelantus::sim::Probe>(sys: &mut System<P>) -> SimMetrics {
+    let init = sys.spawn_init();
+    let va = sys.mmap(init, PAGES * PAGE).unwrap();
+    for i in 0..PAGES {
+        sys.write_bytes(init, va + i * PAGE, &[i as u8; 64]).unwrap();
+    }
+    let child = sys.fork(init).unwrap();
+    for i in 0..PAGES / 2 {
+        sys.write_bytes(child, va + i * PAGE, &[0xAA; 64]).unwrap();
+    }
+    for i in 0..PAGES {
+        sys.read_bytes(init, va + i * PAGE, 64).unwrap();
+        sys.read_bytes(child, va + i * PAGE, 64).unwrap();
+    }
+    sys.exit(child).unwrap();
+    for i in 0..PAGES {
+        sys.write_bytes(init, va + i * PAGE, &[0xBB; 64]).unwrap();
+    }
+    sys.finish()
+}
+
+/// A ring big enough that nothing wraps, so event-level payloads (not
+/// just the per-kind counts) are complete.
+fn big_ring() -> RingProbe {
+    RingProbe::new(1 << 20)
+}
+
+#[test]
+fn recording_probe_changes_nothing_for_any_strategy() {
+    for strategy in CowStrategy::all() {
+        let untraced = drive(&mut System::new(config(strategy)));
+        let ring = big_ring();
+        let traced = drive(&mut System::with_probe(config(strategy), ring.clone()));
+        assert_eq!(
+            untraced, traced,
+            "{strategy}: attaching a probe perturbed the simulation"
+        );
+        assert!(ring.total() > 0, "{strategy}: traced run emitted nothing");
+    }
+}
+
+#[test]
+fn event_streams_are_deterministic() {
+    let a = big_ring();
+    let b = big_ring();
+    let ma = drive(&mut System::with_probe(config(CowStrategy::Lelantus), a.clone()));
+    let mb = drive(&mut System::with_probe(config(CowStrategy::Lelantus), b.clone()));
+    assert_eq!(ma, mb);
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.events(), b.events(), "event streams must be replayable");
+}
+
+#[test]
+fn event_counts_reconcile_with_aggregates() {
+    for strategy in CowStrategy::all() {
+        let ring = big_ring();
+        let mut sys = System::with_probe(config(strategy), ring.clone());
+        drive(&mut sys);
+        let m = sys.metrics();
+        let counts = ring.counts();
+        assert_eq!(ring.dropped(), 0, "ring must hold the whole stream for this test");
+
+        // Kernel-side fault events.
+        assert_eq!(counts[EventKind::COW_FAULT], m.kernel.cow_faults, "{strategy}");
+        assert_eq!(counts[EventKind::REUSE_FAULT], m.kernel.reuse_faults, "{strategy}");
+        assert_eq!(counts[EventKind::FORK], m.kernel.forks, "{strategy}");
+
+        // Controller commands and datapath events.
+        assert_eq!(counts[EventKind::CMD_PAGE_COPY], m.controller.cmd_page_copy, "{strategy}");
+        assert_eq!(
+            counts[EventKind::CMD_PAGE_PHYC],
+            m.controller.cmd_page_phyc + m.controller.cmd_page_phyc_rejected,
+            "{strategy}"
+        );
+        assert_eq!(counts[EventKind::CMD_PAGE_FREE], m.controller.cmd_page_free, "{strategy}");
+        assert_eq!(counts[EventKind::CMD_PAGE_INIT], m.controller.cmd_page_init, "{strategy}");
+        assert_eq!(counts[EventKind::REDIRECTED_READ], m.controller.redirected_reads, "{strategy}");
+        assert_eq!(counts[EventKind::IMPLICIT_COPY], m.controller.implicit_copies, "{strategy}");
+        assert_eq!(counts[EventKind::COUNTER_FETCH], m.controller.counter_fetches, "{strategy}");
+        assert_eq!(
+            counts[EventKind::COUNTER_WRITEBACK],
+            m.controller.counter_writebacks,
+            "{strategy}"
+        );
+        assert_eq!(counts[EventKind::COUNTER_OVERFLOW], m.controller.minor_overflows, "{strategy}");
+        assert_eq!(counts[EventKind::COW_META_READ], m.controller.cow_meta_reads, "{strategy}");
+        assert_eq!(counts[EventKind::COW_META_WRITE], m.controller.cow_meta_writes, "{strategy}");
+
+        // NVM write queue: every admitted write is either merged or
+        // eventually drained to the array, and the queue is empty
+        // after `finish`.
+        assert_eq!(
+            counts[EventKind::QUEUE_ADMIT],
+            m.nvm.line_writes + m.nvm.merged_writes,
+            "{strategy}"
+        );
+        assert_eq!(counts[EventKind::QUEUE_DRAIN], m.nvm.line_writes, "{strategy}");
+
+        // Event payloads: subsets and sums the per-kind counts can't see.
+        let events = ring.events();
+        let mut from_zero = 0;
+        let mut early_reclaim = 0;
+        let mut phyc_accepted = 0;
+        let mut merged = 0;
+        let mut merkle_nodes = 0;
+        for e in &events {
+            match e.kind {
+                EventKind::CowFault { from_zero: true, .. } => from_zero += 1,
+                EventKind::ReuseFault { early_reclaim: true, .. } => early_reclaim += 1,
+                EventKind::CmdPagePhyc { accepted: true, .. } => phyc_accepted += 1,
+                EventKind::QueueAdmit { merged: true, .. } => merged += 1,
+                EventKind::MerkleFetch { nodes, .. } => merkle_nodes += nodes,
+                _ => {}
+            }
+        }
+        assert_eq!(from_zero, m.kernel.zero_faults, "{strategy}");
+        // The kernel counts early-reclaim *walks*, including ones that
+        // find no dependents and therefore report a plain reuse fault.
+        assert!(early_reclaim <= m.kernel.early_reclaims, "{strategy}");
+        assert_eq!(phyc_accepted, m.controller.cmd_page_phyc, "{strategy}");
+        assert_eq!(merged, m.nvm.merged_writes, "{strategy}");
+        assert_eq!(merkle_nodes, m.controller.merkle_fetches, "{strategy}");
+
+        // Histogram sample counts shadow the same aggregates.
+        let hists = ring.histograms();
+        assert_eq!(
+            hists.get(HistKind::FaultServiceCycles).count,
+            m.kernel.cow_faults + m.kernel.reuse_faults,
+            "{strategy}"
+        );
+        assert_eq!(
+            hists.get(HistKind::CopyChainDepth).count,
+            m.controller.redirected_reads,
+            "{strategy}"
+        );
+        assert_eq!(
+            hists.get(HistKind::WriteQueueDepth).count,
+            counts[EventKind::QUEUE_ADMIT],
+            "{strategy}"
+        );
+        assert_eq!(
+            hists.get(HistKind::CounterCacheOccupancy).count,
+            m.controller.counter_fetches,
+            "{strategy}"
+        );
+    }
+}
+
+#[test]
+fn epoch_series_sums_to_run_totals() {
+    let mut sys = System::new(config(CowStrategy::Lelantus).with_epoch_interval(50_000));
+    let end = drive(&mut sys);
+    let epochs = sys.epochs();
+    assert!(epochs.len() > 1, "expected several epochs, got {}", epochs.len());
+    let mut writes = 0;
+    let mut faults = 0;
+    let mut cycles = 0;
+    for e in epochs {
+        writes += e.delta.nvm.line_writes;
+        faults += e.delta.kernel.cow_faults;
+        cycles += e.delta.cycles.as_u64();
+    }
+    assert_eq!(writes, end.nvm.line_writes);
+    assert_eq!(faults, end.kernel.cow_faults);
+    assert_eq!(cycles, end.cycles.as_u64());
+    for pair in epochs.windows(2) {
+        assert!(pair[0].end_cycle < pair[1].end_cycle, "epochs out of order");
+    }
+}
