@@ -111,9 +111,8 @@ fn main() {
         let mut cfg = SimConfig::new(CowStrategy::Lelantus, page).with_phys_bytes(64 << 20);
         cfg.controller.data_macs = macs;
         let mut sys = System::new(cfg);
-        let run = lelantus_workloads::noncopy::NonCopy { total_bytes: 2 << 20 }
-            .run(&mut sys)
-            .unwrap();
+        let run =
+            lelantus_workloads::noncopy::NonCopy { total_bytes: 2 << 20 }.run(&mut sys).unwrap();
         rows.push(vec![
             if macs { "on (default)" } else { "off" }.to_string(),
             run.measured.cycles.as_u64().to_string(),
@@ -135,9 +134,8 @@ fn main() {
         let mut cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Huge2M);
         cfg.controller.cmd_latency = latency;
         let mut sys = System::new(cfg);
-        let run = Forkbench { total_bytes: 4 << 20, bytes_per_page: Some(1) }
-            .run(&mut sys)
-            .unwrap();
+        let run =
+            Forkbench { total_bytes: 4 << 20, bytes_per_page: Some(1) }.run(&mut sys).unwrap();
         rows.push(vec![latency.to_string(), run.measured.cycles.as_u64().to_string()]);
     }
     print_table(

@@ -51,7 +51,12 @@ fn main() {
         }
         print_table(
             "Figure 2: CoW write amplification (baseline)",
-            &["case [page (update)]", "logical line writes", "physical NVM writes", "amplification"],
+            &[
+                "case [page (update)]",
+                "logical line writes",
+                "physical NVM writes",
+                "amplification",
+            ],
             &rows,
         );
         println!(

@@ -39,15 +39,19 @@ fn main() {
                 let mut speedups = [0.0f64; 3];
                 let mut writes = [0.0f64; 3];
                 for s in 0..3 {
-                    let run = &matrix.get(p, w, s + 1).run;
+                    let cell = matrix.get(p, w, s + 1);
+                    let run = &cell.run;
                     speedups[s] = run.measured.speedup_vs(&base.measured);
                     writes[s] = run.measured.write_fraction_vs(&base.measured);
-                    records.push(Record::with_scheme(
-                        format!("speedup/{page}/{name}"),
-                        strategies[s + 1].to_string(),
-                        speedups[s],
-                        "x",
-                    ));
+                    records.push(
+                        Record::with_scheme(
+                            format!("speedup/{page}/{name}"),
+                            strategies[s + 1].to_string(),
+                            speedups[s],
+                            "x",
+                        )
+                        .timed(cell.elapsed_s),
+                    );
                 }
                 speedup_rows.push(vec![
                     name.clone(),

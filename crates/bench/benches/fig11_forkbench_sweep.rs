@@ -30,8 +30,7 @@ fn main() {
     let scale = Scale::from_env();
     timed_emit("fig11_forkbench_sweep", || {
         let mut records = Vec::new();
-        let strategies =
-            [CowStrategy::Baseline, CowStrategy::Lelantus, CowStrategy::LelantusCow];
+        let strategies = [CowStrategy::Baseline, CowStrategy::Lelantus, CowStrategy::LelantusCow];
         for page in [PageSize::Regular4K, PageSize::Huge2M] {
             let points = sweep_points(page);
             let runs = run_cells(points.len() * strategies.len(), |i| {

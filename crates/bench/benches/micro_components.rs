@@ -96,6 +96,8 @@ fn main() {
             ctrl.cmd_page_copy(base, base + (8 << 20) + i * 4096, Cycles::ZERO)
         }));
 
-        ms.iter().map(|m| Record::new(&m.name, m.ns_per_iter, "ns/iter")).collect()
+        ms.iter()
+            .map(|m| Record::new(&m.name, m.ns_per_iter, "ns/iter").timed(m.elapsed_s))
+            .collect()
     });
 }

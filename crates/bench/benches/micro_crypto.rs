@@ -20,9 +20,8 @@ fn main() {
         // --- AES block ciphers -----------------------------------------
         let fast_aes = Aes128::new([7; 16]);
         let ref_aes = reference::Aes128::new([7; 16]);
-        let fast_block = bench("aes128_encrypt_block", || {
-            fast_aes.encrypt_block(black_box([0x42; 16]))
-        });
+        let fast_block =
+            bench("aes128_encrypt_block", || fast_aes.encrypt_block(black_box([0x42; 16])));
         let ref_block = bench("aes128_reference_encrypt_block", || {
             ref_aes.encrypt_block(black_box([0x42; 16]))
         });
@@ -36,18 +35,16 @@ fn main() {
         let ref_engine = CtrEngine::new_reference([9; 16]);
         let iv = IvSpec { line_addr: 0x1000, major: 5, minor: 3 };
         let line = [0xAB; 64];
-        let fast_enc = bench("ctr_encrypt_line_64B", || {
-            engine.encrypt_line(black_box(&line), black_box(iv))
-        });
+        let fast_enc =
+            bench("ctr_encrypt_line_64B", || engine.encrypt_line(black_box(&line), black_box(iv)));
         let table_enc = bench("ctr_encrypt_line_64B_ttable", || {
             table_engine.encrypt_line(black_box(&line), black_box(iv))
         });
         let ref_enc = bench("ctr_encrypt_line_64B_reference", || {
             ref_engine.encrypt_line(black_box(&line), black_box(iv))
         });
-        let fast_dec = bench("ctr_decrypt_line_64B", || {
-            engine.decrypt_line(black_box(&line), black_box(iv))
-        });
+        let fast_dec =
+            bench("ctr_decrypt_line_64B", || engine.decrypt_line(black_box(&line), black_box(iv)));
         let ref_dec = bench("ctr_decrypt_line_64B_reference", || {
             ref_engine.decrypt_line(black_box(&line), black_box(iv))
         });
@@ -111,7 +108,7 @@ fn main() {
             &merkle_update,
             &merkle_verify,
         ] {
-            records.push(Record::new(&m.name, m.ns_per_iter, "ns/iter"));
+            records.push(Record::new(&m.name, m.ns_per_iter, "ns/iter").timed(m.elapsed_s));
         }
         records.push(Record::new("speedup/aes_block", block_speedup, "x"));
         records.push(Record::new("speedup/line_encrypt", enc_speedup, "x"));

@@ -79,8 +79,14 @@ fn main() {
             ratio = null.ns_per_iter / baseline.ns_per_iter;
             println!("null-probe / untraced ratio: {ratio:.3} (attempt {attempt})");
             if attempt == 1 {
-                records.push(Record::new("probe_untraced_1k_steps", baseline.ns_per_iter, "ns/iter"));
-                records.push(Record::new("probe_null_1k_steps", null.ns_per_iter, "ns/iter"));
+                records.push(
+                    Record::new("probe_untraced_1k_steps", baseline.ns_per_iter, "ns/iter")
+                        .timed(baseline.elapsed_s),
+                );
+                records.push(
+                    Record::new("probe_null_1k_steps", null.ns_per_iter, "ns/iter")
+                        .timed(null.elapsed_s),
+                );
             }
             if ratio <= MAX_RATIO {
                 break;
@@ -96,7 +102,10 @@ fn main() {
         // --- informational: what recording actually costs --------------
         let ring = RingProbe::new(4096);
         let ring_m = bench("probe_hot_loop_ring_probe", || run_instrumented(&ring));
-        records.push(Record::new("probe_ring_1k_steps", ring_m.ns_per_iter, "ns/iter"));
+        records.push(
+            Record::new("probe_ring_1k_steps", ring_m.ns_per_iter, "ns/iter")
+                .timed(ring_m.elapsed_s),
+        );
 
         // --- macro-level: a traced forkbench within a loose bound ------
         // End-to-end the probe cost is diluted by real simulation work;
@@ -104,9 +113,8 @@ fn main() {
         let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
             .with_phys_bytes(64 << 20)
             .with_deterministic_counters();
-        let untraced = bench("forkbench_small_untraced", || {
-            forkbench_cycles(&mut System::new(cfg.clone()))
-        });
+        let untraced =
+            bench("forkbench_small_untraced", || forkbench_cycles(&mut System::new(cfg.clone())));
         let traced = bench("forkbench_small_ring_traced", || {
             forkbench_cycles(&mut System::with_probe(cfg.clone(), RingProbe::new(1 << 16)))
         });

@@ -43,8 +43,7 @@ fn main() {
     let cow_space = (layout.regions() * 8) as f64 / layout.data_bytes as f64;
 
     // Extra RW traffic: CoW-metadata line accesses per NVM access.
-    let cow_total =
-        (cow.measured.nvm.line_reads + cow.measured.nvm.line_writes).max(1) as f64;
+    let cow_total = (cow.measured.nvm.line_reads + cow.measured.nvm.line_writes).max(1) as f64;
     let cow_extra = (cow.measured.controller.cow_meta_reads
         + cow.measured.controller.cow_meta_writes) as f64
         / cow_total;
@@ -52,7 +51,11 @@ fn main() {
     let rows = vec![
         vec![
             "Resizing Counter Blocks (Lelantus)".into(),
-            format!("{:.5}% ({}x classic)", lel_ovf * 100.0, if cow_ovf > 0.0 { format!("{:.1}", lel_ovf / cow_ovf) } else { "n/a".into() }),
+            format!(
+                "{:.5}% ({}x classic)",
+                lel_ovf * 100.0,
+                if cow_ovf > 0.0 { format!("{:.1}", lel_ovf / cow_ovf) } else { "n/a".into() }
+            ),
             "none (in-band)".into(),
             "low (counter block only)".into(),
         ],

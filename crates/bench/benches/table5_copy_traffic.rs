@@ -22,10 +22,8 @@ fn main() {
             .collect();
         let runs = run_cells(names.len(), |i| {
             let mut suite = fig9_workloads(scale);
-            let pos = suite
-                .iter()
-                .position(|wl| wl.name() == names[i])
-                .expect("suite is deterministic");
+            let pos =
+                suite.iter().position(|wl| wl.name() == names[i]).expect("suite is deterministic");
             let wl = suite.swap_remove(pos);
             run_workload(wl.as_ref(), CowStrategy::Baseline, PageSize::Regular4K)
         });

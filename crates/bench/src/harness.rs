@@ -18,6 +18,10 @@ pub struct Measurement {
     pub ns_per_iter: f64,
     /// Iterations measured (after calibration).
     pub iters: u64,
+    /// Total wall-clock seconds this benchmark took (calibration and
+    /// all measurement batches) — what `BENCH_RESULTS.json` stamps on
+    /// the record as its per-name cost.
+    pub elapsed_s: f64,
 }
 
 impl Measurement {
@@ -42,6 +46,7 @@ const BUDGET: Duration = Duration::from_millis(200);
 /// result is sunk with [`std::hint::black_box`]; keep per-iteration
 /// state inside the closure.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let bench_start = Instant::now();
     // Calibrate: find an iteration count worth ~20 ms.
     let mut iters = 1u64;
     let per_iter = loop {
@@ -68,7 +73,12 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
         }
         best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    let m = Measurement { name: name.to_string(), ns_per_iter: best, iters };
+    let m = Measurement {
+        name: name.to_string(),
+        ns_per_iter: best,
+        iters,
+        elapsed_s: bench_start.elapsed().as_secs_f64(),
+    };
     println!(
         "{:<40} {:>12.1} ns/iter {:>16.0} iters/s ({} iters)",
         m.name,
@@ -93,12 +103,13 @@ mod tests {
         assert!(m.ns_per_iter > 0.0);
         assert!(m.iters >= 1);
         assert!(m.per_second() > 0.0);
+        assert!(m.elapsed_s > 0.0);
     }
 
     #[test]
     fn speedup_is_a_ratio_of_costs() {
-        let fast = Measurement { name: "f".into(), ns_per_iter: 10.0, iters: 1 };
-        let slow = Measurement { name: "s".into(), ns_per_iter: 80.0, iters: 1 };
+        let fast = Measurement { name: "f".into(), ns_per_iter: 10.0, iters: 1, elapsed_s: 0.1 };
+        let slow = Measurement { name: "s".into(), ns_per_iter: 80.0, iters: 1, elapsed_s: 0.1 };
         assert!((fast.speedup_over(&slow) - 8.0).abs() < 1e-12);
     }
 }

@@ -30,8 +30,8 @@ use lelantus_os::CowStrategy;
 use lelantus_sim::{SimConfig, System};
 use lelantus_types::PageSize;
 use lelantus_workloads::{
-    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, mariadbwl::Mariadb,
-    noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
+    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, mariadbwl::Mariadb, noncopy::NonCopy,
+    rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
 };
 
 /// Experiment size, selected via `LELANTUS_SCALE`.
@@ -79,11 +79,21 @@ pub fn fig9_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
             Box::new(NonCopy { total_bytes: scale.alloc_bytes() }),
         ],
         Scale::Medium => vec![
-            Box::new(Boot { services: 16, shared_bytes: 1 << 20, service_heap_bytes: 128 << 10, ..Boot::default() }),
+            Box::new(Boot {
+                services: 16,
+                shared_bytes: 1 << 20,
+                service_heap_bytes: 128 << 10,
+                ..Boot::default()
+            }),
             Box::new(Compile { heap_bytes: 6 << 20, rewrite_ops: 12_000, ..Compile::default() }),
             Box::new(Forkbench { total_bytes: scale.alloc_bytes(), bytes_per_page: None }),
             Box::new(Redis { pairs: 20_000, operations: 4_000, ..Redis::default() }),
-            Box::new(Mariadb { buffer_pool_bytes: 4 << 20, index_bytes: 1 << 20, rows: 24_000, ..Mariadb::default() }),
+            Box::new(Mariadb {
+                buffer_pool_bytes: 4 << 20,
+                index_bytes: 1 << 20,
+                rows: 24_000,
+                ..Mariadb::default()
+            }),
             Box::new(Shell { directories: 24, ..Shell::default() }),
             Box::new(NonCopy { total_bytes: scale.alloc_bytes() }),
         ],
@@ -101,11 +111,7 @@ pub fn fig9_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
 
 /// Runs `workload` on a fresh system with the given scheme and page
 /// size, using the paper's default configuration.
-pub fn run_workload(
-    workload: &dyn Workload,
-    strategy: CowStrategy,
-    page: PageSize,
-) -> WorkloadRun {
+pub fn run_workload(workload: &dyn Workload, strategy: CowStrategy, page: PageSize) -> WorkloadRun {
     let mut config = SimConfig::new(strategy, page);
     // Escape hatch for before/after comparisons: run the whole figure
     // on the byte-oriented reference cipher (the seed's hot path).

@@ -73,6 +73,9 @@ pub struct MatrixCell {
     pub page: PageSize,
     /// The measurement.
     pub run: WorkloadRun,
+    /// Host wall-clock seconds this cell's simulation took — what
+    /// `BENCH_RESULTS.json` stamps on records derived from the cell.
+    pub elapsed_s: f64,
 }
 
 /// The completed matrix, indexable by (page, workload, strategy).
@@ -88,8 +91,7 @@ impl Matrix {
     /// Cell for (`page_i`, `workload_i`, `strategy_i`) in the index
     /// spaces the matrix was built with.
     pub fn get(&self, page_i: usize, workload_i: usize, strategy_i: usize) -> &MatrixCell {
-        &self.cells
-            [(page_i * self.workloads + workload_i) * self.strategies.len() + strategy_i]
+        &self.cells[(page_i * self.workloads + workload_i) * self.strategies.len() + strategy_i]
     }
 
     /// All cells in deterministic (page, workload, strategy) order.
@@ -129,8 +131,10 @@ where
         let (workload_i, strategy_i) = (rest / strategies.len(), rest % strategies.len());
         let wl = factory().swap_remove(workload_i);
         let (strategy, page) = (strategies[strategy_i], pages[page_i]);
+        let start = std::time::Instant::now();
         let run = run_workload(wl.as_ref(), strategy, page);
-        MatrixCell { workload: wl.name().to_string(), strategy, page, run }
+        let elapsed_s = start.elapsed().as_secs_f64();
+        MatrixCell { workload: wl.name().to_string(), strategy, page, run, elapsed_s }
     });
     Matrix { pages: pages.to_vec(), strategies: strategies.to_vec(), workloads, cells }
 }
@@ -193,16 +197,12 @@ mod tests {
         let strategies = [CowStrategy::Baseline, CowStrategy::Lelantus];
         let m = run_matrix(&factory, &strategies, &[PageSize::Regular4K]);
         for (s, strategy) in strategies.iter().enumerate() {
-            let serial = run_workload(
-                &NonCopy { total_bytes: 1 << 20 },
-                *strategy,
-                PageSize::Regular4K,
-            );
+            let serial =
+                run_workload(&NonCopy { total_bytes: 1 << 20 }, *strategy, PageSize::Regular4K);
             let cell = m.get(0, 0, s);
             assert_eq!(cell.run.measured.cycles, serial.measured.cycles, "{strategy}");
             assert_eq!(
-                cell.run.measured.nvm.line_writes,
-                serial.measured.nvm.line_writes,
+                cell.run.measured.nvm.line_writes, serial.measured.nvm.line_writes,
                 "{strategy}"
             );
         }

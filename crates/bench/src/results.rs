@@ -17,7 +17,10 @@ use std::time::Instant;
 ///
 /// * v1: bench/name/scheme/value/unit/wall_clock_s (implicit, no field)
 /// * v2: adds `schema` and `git` to every record
-pub const RESULTS_SCHEMA_VERSION: u32 = 2;
+/// * v3: `wall_clock_s` is per-record — the time spent producing that
+///   record — for records that carry their own timing; derived records
+///   (ratios, averages) still carry the whole target's wall clock
+pub const RESULTS_SCHEMA_VERSION: u32 = 3;
 
 /// Short git commit hash of the working tree, queried once per
 /// process; `"unknown"` when git is unavailable (e.g. a source
@@ -49,12 +52,16 @@ pub struct Record {
     pub value: f64,
     /// The value's unit (e.g. `ns/iter`, `x`, `cycles`, `s`).
     pub unit: String,
+    /// Wall-clock seconds spent producing *this* record, when known.
+    /// `None` falls back to the whole target's wall clock at [`emit`]
+    /// time (the only option for derived metrics such as ratios).
+    pub wall_clock_s: Option<f64>,
 }
 
 impl Record {
     /// Convenience constructor for scheme-less metrics.
     pub fn new(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
-        Record { name: name.into(), scheme: None, value, unit: unit.into() }
+        Record { name: name.into(), scheme: None, value, unit: unit.into(), wall_clock_s: None }
     }
 
     /// Same, tagged with a scheme.
@@ -64,7 +71,19 @@ impl Record {
         value: f64,
         unit: impl Into<String>,
     ) -> Self {
-        Record { name: name.into(), scheme: Some(scheme.into()), value, unit: unit.into() }
+        Record {
+            name: name.into(),
+            scheme: Some(scheme.into()),
+            value,
+            unit: unit.into(),
+            wall_clock_s: None,
+        }
+    }
+
+    /// Stamps the record with the wall-clock time that produced it.
+    pub fn timed(mut self, seconds: f64) -> Self {
+        self.wall_clock_s = Some(seconds);
+        self
     }
 }
 
@@ -95,14 +114,15 @@ fn render(bench: &str, wall_clock_s: f64, r: &Record) -> String {
         scheme,
         if r.value.is_finite() { format!("{}", r.value) } else { "null".into() },
         escape(&r.unit),
-        wall_clock_s,
+        r.wall_clock_s.unwrap_or(wall_clock_s),
     )
 }
 
 /// Merges `records` for `bench` into the results file: existing
 /// records from other benches are kept, this bench's previous records
 /// are replaced. `wall_clock_s` is the target's total wall-clock time,
-/// stamped on every record.
+/// stamped on records that don't carry their own (see
+/// [`Record::timed`]).
 pub fn emit(bench: &str, wall_clock_s: f64, records: &[Record]) {
     let path = results_path();
     let marker = format!("\"bench\":\"{}\"", escape(bench));
@@ -157,6 +177,8 @@ mod tests {
             // Re-emitting alpha replaces its old record, keeps beta's.
             emit("alpha", 4.0, &[Record::new("m1", 9.5, "x")]);
             let text = fs::read_to_string(path).unwrap();
+            assert!(text.contains("\"wall_clock_s\":2.000"), "beta keeps its stamp: {text}");
+            let text = fs::read_to_string(path).unwrap();
             assert!(text.starts_with("[\n"), "array framing: {text}");
             assert!(text.contains("\"bench\":\"beta\""));
             assert!(text.contains("\"value\":9.5"));
@@ -167,11 +189,24 @@ mod tests {
             assert_eq!(text.matches("\"bench\"").count(), 2);
             assert_eq!(text.matches(",\n").count(), 1);
             // Every record carries the schema version and a git stamp.
-            assert_eq!(
-                text.matches(&format!("\"schema\":{RESULTS_SCHEMA_VERSION}")).count(),
-                2
-            );
+            assert_eq!(text.matches(&format!("\"schema\":{RESULTS_SCHEMA_VERSION}")).count(), 2);
             assert_eq!(text.matches("\"git\":\"").count(), 2);
+        });
+    }
+
+    #[test]
+    fn per_record_wall_clock_overrides_the_target_total() {
+        with_temp_file("lelantus_results_timed_test.json", |path| {
+            emit(
+                "gamma",
+                7.0,
+                &[Record::new("fast", 1.0, "ns/iter").timed(0.25), Record::new("ratio", 2.0, "x")],
+            );
+            let text = fs::read_to_string(path).unwrap();
+            // The measured record carries its own timing; the derived
+            // one falls back to the target total.
+            assert!(text.contains("\"name\":\"fast\",\"scheme\":null,\"value\":1,\"unit\":\"ns/iter\",\"wall_clock_s\":0.250"), "{text}");
+            assert!(text.contains("\"name\":\"ratio\",\"scheme\":null,\"value\":2,\"unit\":\"x\",\"wall_clock_s\":7.000"), "{text}");
         });
     }
 

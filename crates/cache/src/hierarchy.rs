@@ -273,7 +273,10 @@ mod tests {
     impl LineBackend for Flat {
         fn read_line(&mut self, a: PhysAddr, now: Cycles) -> ([u8; 64], Cycles) {
             self.reads += 1;
-            (self.mem.get(&a.line_align().as_u64()).copied().unwrap_or([0; 64]), now + Cycles::new(60))
+            (
+                self.mem.get(&a.line_align().as_u64()).copied().unwrap_or([0; 64]),
+                now + Cycles::new(60),
+            )
         }
         fn write_line(&mut self, a: PhysAddr, d: [u8; 64], now: Cycles) -> Cycles {
             self.writes += 1;

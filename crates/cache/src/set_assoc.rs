@@ -128,7 +128,12 @@ impl SetAssocCache {
     /// Inserts a line (e.g. on fill), evicting the LRU way if the set
     /// is full. The victim, if any, is returned so the caller can
     /// propagate dirty data downward.
-    pub fn insert(&mut self, addr: PhysAddr, data: [u8; LINE_BYTES], dirty: bool) -> Option<Evicted> {
+    pub fn insert(
+        &mut self,
+        addr: PhysAddr,
+        data: [u8; LINE_BYTES],
+        dirty: bool,
+    ) -> Option<Evicted> {
         let (set, tag) = self.set_and_tag(addr);
         self.tick += 1;
         let tick = self.tick;
@@ -149,11 +154,7 @@ impl SetAssocCache {
             if w.dirty {
                 self.stats.dirty_evictions += 1;
             }
-            Some(Evicted {
-                addr: self.reconstruct_addr(set, w.tag),
-                data: w.data,
-                dirty: w.dirty,
-            })
+            Some(Evicted { addr: self.reconstruct_addr(set, w.tag), data: w.data, dirty: w.dirty })
         } else {
             None
         };

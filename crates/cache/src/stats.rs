@@ -1,6 +1,5 @@
 //! Cache statistics.
 
-
 /// Hit/miss counters for one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {

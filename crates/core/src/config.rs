@@ -105,6 +105,18 @@ pub struct ControllerConfig {
     /// instead of the T-table cipher. Functionally identical and much
     /// slower; only equivalence tests turn this on.
     pub use_reference_aes: bool,
+    /// Serialize counter blocks with the original bit-by-bit codec
+    /// instead of the word-packing one. Byte-identical output and much
+    /// slower; only equivalence tests turn this on.
+    pub use_reference_codec: bool,
+    /// Recompute Merkle interior nodes on every counter write instead
+    /// of deferring to flush points. The simulated walk model is
+    /// identical either way; only equivalence tests turn this on.
+    pub use_eager_merkle: bool,
+    /// Combine consecutive same-line MAC updates through a one-line
+    /// buffer so page sweeps touch each MAC line once (host-side only;
+    /// cache ticks and stats are exact). On by default.
+    pub mac_write_combining: bool,
 }
 
 impl ControllerConfig {
@@ -136,6 +148,9 @@ impl ControllerConfig {
             track_footprint: true,
             key: *b"lelantus-aes-key",
             use_reference_aes: false,
+            use_reference_codec: false,
+            use_eager_merkle: false,
+            mac_write_combining: true,
         }
     }
 

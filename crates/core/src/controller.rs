@@ -31,7 +31,7 @@ use lelantus_cache::LineBackend;
 use lelantus_crypto::ctr::{xor_line, CtrEngine, IvSpec};
 use lelantus_crypto::merkle::MerkleTree;
 use lelantus_crypto::siphash::SipHash24;
-use lelantus_metadata::counter_block::{CounterBlock, CounterEncoding, MINORS};
+use lelantus_metadata::counter_block::{CounterBlock, CounterCodec, CounterEncoding, MINORS};
 use lelantus_metadata::counter_cache::{CounterCache, WritePolicy};
 use lelantus_metadata::cow_meta::{CowCache, CowMetaTable};
 use lelantus_metadata::layout::MetadataLayout;
@@ -64,6 +64,12 @@ pub struct SecureMemoryController<P: Probe = NullProbe> {
     cow_cache: CowCache,
     cow_table: CowMetaTable,
     mac_cache: MacCache,
+    /// MAC write combiner: the line index currently being swept plus
+    /// the `(slot, tag)` updates buffered for it. Holds only
+    /// resident-path updates and is flushed (replayed tick-exactly via
+    /// [`MacCache::update_tags`]) before any other MAC-cache access,
+    /// so nothing simulated can observe the buffering.
+    mac_wc: Option<(u64, Vec<(usize, u64)>)>,
     mac_key: SipHash24,
     layout: MetadataLayout,
     initialized_regions: HashSet<u64>,
@@ -99,11 +105,14 @@ impl<P: Probe> SecureMemoryController<P> {
     pub fn with_probe(config: ControllerConfig, probe: P) -> Self {
         config.validate().expect("invalid controller config");
         let layout = MetadataLayout::for_data_bytes(config.data_bytes);
-        let merkle = MerkleTree::new(
+        let mut merkle = MerkleTree::new(
             layout.regions() as usize,
             (0x6c65_6c61_6e74_7573, 0x6973_6361_3230_3230),
             config.merkle_cache_nodes,
         );
+        if !config.use_eager_merkle {
+            merkle = merkle.with_deferred_maintenance();
+        }
         let persisted_root = merkle.root();
         Self {
             nvm: NvmDevice::with_probe(config.nvm.clone(), probe.clone()),
@@ -117,6 +126,7 @@ impl<P: Probe> SecureMemoryController<P> {
             cow_cache: CowCache::new(config.cow_cache_entries),
             cow_table: CowMetaTable::new(),
             mac_cache: MacCache::new(config.mac_cache_lines.max(1)),
+            mac_wc: None,
             mac_key: SipHash24::new(0x6d61_635f_6b65_7931, 0x6d61_635f_6b65_7932),
             layout,
             initialized_regions: HashSet::new(),
@@ -196,6 +206,7 @@ impl<P: Probe> SecureMemoryController<P> {
     /// device write queue) to the NVM array; returns the completion
     /// instant. Call at simulation end so write counts are exact.
     pub fn flush_all(&mut self, now: Cycles) -> Cycles {
+        self.mac_wc_flush();
         let encoding = self.encoding();
         let mut done = now;
         for ev in self.counter_cache.drain_dirty() {
@@ -205,11 +216,40 @@ impl<P: Probe> SecureMemoryController<P> {
         for ev in self.mac_cache.drain_dirty() {
             self.writeback_mac_line(ev.index, &ev.macs, now);
         }
-        done.max(self.nvm.flush(now))
+        let done = done.max(self.nvm.flush(now));
+        self.flush_metadata();
+        done
+    }
+
+    /// Flushes deferred host-side metadata maintenance — pending
+    /// combined MAC updates and stale Merkle interior nodes — and
+    /// re-syncs the persisted root register. Purely host-side: no
+    /// simulated traffic, cache tick, or statistic moves. Called at the
+    /// controller's flush points (writeback drains, page-copy
+    /// commands, epoch boundaries).
+    pub fn flush_metadata(&mut self) {
+        self.mac_wc_flush();
+        self.merkle.flush();
+        self.persisted_root = self.merkle.root();
+    }
+
+    /// The current Merkle root over the counter blocks, flushing any
+    /// deferred maintenance first (equivalence-test observability).
+    pub fn merkle_root(&mut self) -> u64 {
+        self.merkle.flush();
+        self.merkle.root()
     }
 
     fn encoding(&self) -> CounterEncoding {
         self.config.scheme.encoding()
+    }
+
+    fn codec(&self) -> CounterCodec {
+        if self.config.use_reference_codec {
+            CounterCodec::Reference
+        } else {
+            CounterCodec::Word
+        }
     }
 
     fn is_zero_region(&self, region: u64) -> bool {
@@ -249,10 +289,9 @@ impl<P: Probe> SecureMemoryController<P> {
         for line in 0..MINORS {
             block.minors[line] = self.initial_minor(region, line);
         }
-        let bytes = block.encode(self.encoding());
+        let bytes = block.encode_with(self.encoding(), self.codec());
         self.nvm.poke_line(self.layout.counter_addr_of_region(region), bytes);
         self.merkle.update_leaf(region as usize, &bytes);
-        self.persisted_root = self.merkle.root();
     }
 
     /// Fetches the counter block of `region` through the counter
@@ -286,7 +325,7 @@ impl<P: Probe> SecureMemoryController<P> {
         }
         // Tree nodes are contiguous: charge row-hit latency per fetch.
         let t = t + Cycles::new(walk.nodes_fetched * self.config.nvm.row_hit_latency);
-        let block = CounterBlock::decode(&bytes, self.encoding());
+        let block = CounterBlock::decode_with(&bytes, self.encoding(), self.codec());
         if let Some(ev) = self.counter_cache.insert(region, block, false) {
             let encoding = self.encoding();
             self.counter_nvm_write(ev.region, &ev.block, encoding, now, false);
@@ -310,7 +349,7 @@ impl<P: Probe> SecureMemoryController<P> {
         if P::ENABLED {
             self.probe.emit(Event { cycle: now, kind: EventKind::CounterWriteback { region } });
         }
-        let bytes = block.encode(encoding);
+        let bytes = block.encode_with(encoding, self.codec());
         let caddr = self.layout.counter_addr_of_region(region);
         // Write-through counter management exists for persistence, so
         // its writes bypass the volatile queue (paper §V-E); ordinary
@@ -328,7 +367,9 @@ impl<P: Probe> SecureMemoryController<P> {
                 kind: EventKind::MerkleFetch { region, nodes: walk.nodes_fetched },
             });
         }
-        self.persisted_root = self.merkle.root();
+        // The persisted-root register re-syncs at flush points
+        // (`flush_metadata`) instead of per write; it is only ever read
+        // after a flush, so recovery sees the same value either way.
         t
     }
 
@@ -354,7 +395,12 @@ impl<P: Probe> SecureMemoryController<P> {
     /// Looks up the CoW source of `region` given its (already fetched)
     /// counter block. Charges a CoW-table read on a CoW-cache miss
     /// (Lelantus-CoW only).
-    fn source_of(&mut self, region: u64, block: &CounterBlock, now: Cycles) -> (Option<u64>, Cycles) {
+    fn source_of(
+        &mut self,
+        region: u64,
+        block: &CounterBlock,
+        now: Cycles,
+    ) -> (Option<u64>, Cycles) {
         match self.config.scheme {
             SchemeKind::LelantusResized => (block.cow_source(), now),
             SchemeKind::LelantusCow => {
@@ -363,7 +409,8 @@ impl<P: Probe> SecureMemoryController<P> {
                 } else {
                     self.stats.cow_meta_reads += 1;
                     if P::ENABLED {
-                        self.probe.emit(Event { cycle: now, kind: EventKind::CowMetaRead { region } });
+                        self.probe
+                            .emit(Event { cycle: now, kind: EventKind::CowMetaRead { region } });
                     }
                     let (slot_line, _off) = self.layout.cow_meta_slot_of_region(region);
                     let (_bytes, t) = self.nvm.read_line(slot_line, now);
@@ -394,7 +441,13 @@ impl<P: Probe> SecureMemoryController<P> {
 
     /// Keyed tag binding a ciphertext line to its address and counter
     /// (Rogers et al.: replaying stale data then requires forging this).
-    fn data_mac(&self, line_addr: PhysAddr, cipher: &[u8; LINE_BYTES], major: u64, minor: u8) -> u64 {
+    fn data_mac(
+        &self,
+        line_addr: PhysAddr,
+        cipher: &[u8; LINE_BYTES],
+        major: u64,
+        minor: u8,
+    ) -> u64 {
         let mut buf = [0u8; LINE_BYTES + 17];
         buf[..LINE_BYTES].copy_from_slice(cipher);
         buf[LINE_BYTES..LINE_BYTES + 8].copy_from_slice(&line_addr.as_u64().to_le_bytes());
@@ -403,8 +456,21 @@ impl<P: Probe> SecureMemoryController<P> {
         self.mac_key.hash(&buf)
     }
 
+    /// Applies the buffered combined MAC-line updates to the cache in
+    /// one batched access with exact LRU ticks. Must run before any
+    /// other MAC-cache access.
+    fn mac_wc_flush(&mut self) {
+        if let Some((index, pending)) = self.mac_wc.take() {
+            if !pending.is_empty() {
+                let resident = self.mac_cache.update_tags(index, &pending);
+                debug_assert!(resident, "combined MAC line evicted while buffered");
+            }
+        }
+    }
+
     /// Fetches the MAC line covering `line_addr` through the MAC cache.
     fn fetch_mac_line(&mut self, line_addr: PhysAddr, now: Cycles) -> ([u64; 8], Cycles) {
+        self.mac_wc_flush();
         let index = self.layout.mac_line_index(line_addr);
         if let Some(line) = self.mac_cache.get(index) {
             return (line, now + Cycles::new(1));
@@ -472,6 +538,20 @@ impl<P: Probe> SecureMemoryController<P> {
         let tag = self.data_mac(line_addr, cipher, major, minor);
         let index = self.layout.mac_line_index(line_addr);
         let (_, slot) = self.layout.mac_slot_of_line(line_addr);
+        if self.config.mac_write_combining {
+            if let Some((wc_index, pending)) = &mut self.mac_wc {
+                if *wc_index == index {
+                    // Same-line streak: the line is resident (its first
+                    // touch below established that, and every other
+                    // cache access flushes the buffer first), so this
+                    // is the resident update path — buffer it and let
+                    // `mac_wc_flush` replay the batch tick-exactly.
+                    pending.push((slot, tag));
+                    return now + Cycles::new(1);
+                }
+            }
+            self.mac_wc_flush();
+        }
         if !self.mac_cache.update_tag(index, slot, tag) {
             // Fill-then-update keeps sibling tags intact.
             let (mut line, t) = self.fetch_mac_line(line_addr, now);
@@ -479,7 +559,13 @@ impl<P: Probe> SecureMemoryController<P> {
             if let Some(ev) = self.mac_cache.fill(index, line, true) {
                 self.writeback_mac_line(ev.index, &ev.macs, now);
             }
+            if self.config.mac_write_combining {
+                self.mac_wc = Some((index, Vec::new()));
+            }
             return t;
+        }
+        if self.config.mac_write_combining {
+            self.mac_wc = Some((index, Vec::new()));
         }
         now + Cycles::new(1)
     }
@@ -628,11 +714,8 @@ impl<P: Probe> SecureMemoryController<P> {
             block.increment_minor(line, encoding).expect("fresh epoch cannot overflow");
         }
 
-        let iv = IvSpec {
-            line_addr: line_addr.as_u64(),
-            major: block.major,
-            minor: block.minors[line],
-        };
+        let iv =
+            IvSpec { line_addr: line_addr.as_u64(), major: block.major, minor: block.minors[line] };
         let cipher = self.engine.encrypt_line(&data, iv);
         let t_write = self.nvm.write_line(line_addr, cipher, t);
         self.update_data_mac(line_addr, &cipher, block.major, block.minors[line], t);
@@ -682,6 +765,8 @@ impl<P: Probe> SecureMemoryController<P> {
             self.update_data_mac(data_addr, cipher, newblock.major, 1, t);
             self.stats.reencrypted_lines += 1;
         }
+        // Re-encryption sweeps are a Merkle flush point too.
+        self.merkle.flush();
         (newblock, done)
     }
 
@@ -750,7 +835,11 @@ impl<P: Probe> SecureMemoryController<P> {
             }
             _ => unreachable!("guarded above"),
         };
-        self.update_counter(dst_region, newblock, t)
+        let done = self.update_counter(dst_region, newblock, t);
+        // Page-copy commands are a Merkle flush point: coalesce the
+        // ancestor recomputations this command queued up.
+        self.merkle.flush();
+        done
     }
 
     /// `page_phyc src, dst` — if `dst`'s metadata still records `src`
@@ -788,7 +877,11 @@ impl<P: Probe> SecureMemoryController<P> {
         if P::ENABLED {
             self.probe.emit(Event {
                 cycle: now,
-                kind: EventKind::CmdPagePhyc { src: src.as_u64(), dst: dst.as_u64(), accepted: true },
+                kind: EventKind::CmdPagePhyc {
+                    src: src.as_u64(),
+                    dst: dst.as_u64(),
+                    accepted: true,
+                },
             });
         }
         let issue = t;
@@ -822,7 +915,11 @@ impl<P: Probe> SecureMemoryController<P> {
         if self.config.scheme == SchemeKind::LelantusCow {
             t = self.write_cow_mapping(dst_region, None, t);
         }
-        done.max(self.update_counter(dst_region, block, t))
+        let done = done.max(self.update_counter(dst_region, block, t));
+        // Page-copy commands are a Merkle flush point (see
+        // `cmd_page_copy`).
+        self.merkle.flush();
+        done
     }
 
     /// `page_free dst` — drops `dst`'s CoW metadata; pending lazy
@@ -837,7 +934,8 @@ impl<P: Probe> SecureMemoryController<P> {
         assert!(dst.is_aligned_to(REGION_BYTES));
         self.stats.cmd_page_free += 1;
         if P::ENABLED {
-            self.probe.emit(Event { cycle: now, kind: EventKind::CmdPageFree { dst: dst.as_u64() } });
+            self.probe
+                .emit(Event { cycle: now, kind: EventKind::CmdPageFree { dst: dst.as_u64() } });
         }
         let t = now + Cycles::new(self.config.cmd_latency);
         let dst_region = self.region_of(dst);
@@ -860,11 +958,16 @@ impl<P: Probe> SecureMemoryController<P> {
     /// Panics unless the scheme is Silent Shredder, or if the address
     /// is not region-aligned.
     pub fn cmd_page_init(&mut self, dst: PhysAddr, now: Cycles) -> Cycles {
-        assert_eq!(self.config.scheme, SchemeKind::SilentShredder, "page_init is Silent Shredder's");
+        assert_eq!(
+            self.config.scheme,
+            SchemeKind::SilentShredder,
+            "page_init is Silent Shredder's"
+        );
         assert!(dst.is_aligned_to(REGION_BYTES));
         self.stats.cmd_page_init += 1;
         if P::ENABLED {
-            self.probe.emit(Event { cycle: now, kind: EventKind::CmdPageInit { dst: dst.as_u64() } });
+            self.probe
+                .emit(Event { cycle: now, kind: EventKind::CmdPageInit { dst: dst.as_u64() } });
         }
         let t = now + Cycles::new(self.config.cmd_latency);
         let dst_region = self.region_of(dst);
@@ -880,7 +983,13 @@ impl<P: Probe> SecureMemoryController<P> {
 
     /// Baseline whole-page copy: streams every line through the secure
     /// datapath with non-temporal semantics (no CPU cache involvement).
-    pub fn copy_page_bulk(&mut self, src: PhysAddr, dst: PhysAddr, bytes: u64, now: Cycles) -> Cycles {
+    pub fn copy_page_bulk(
+        &mut self,
+        src: PhysAddr,
+        dst: PhysAddr,
+        bytes: u64,
+        now: Cycles,
+    ) -> Cycles {
         let lines = bytes / LINE_BYTES as u64;
         let mut done = now;
         for i in 0..lines {
@@ -901,7 +1010,11 @@ impl<P: Probe> SecureMemoryController<P> {
         let mut done = now;
         for i in 0..lines {
             let offset = i * LINE_BYTES as u64;
-            done = done.max(self.write_data_line(base + offset, [0; LINE_BYTES], now + Cycles::new(i)));
+            done = done.max(self.write_data_line(
+                base + offset,
+                [0; LINE_BYTES],
+                now + Cycles::new(i),
+            ));
             self.stats.bulk_zeroed_lines += 1;
         }
         done
@@ -935,6 +1048,7 @@ impl<P: Probe> SecureMemoryController<P> {
     /// persisted root — NVM was modified while powered down.
     pub fn crash_and_recover(&mut self) -> Result<RecoveryReport, lelantus_crypto::TamperError> {
         // --- power fails ---
+        self.mac_wc_flush();
         // ADR: drain the device write queue.
         self.nvm.flush(Cycles::ZERO);
         // Battery: flush dirty counter blocks.
@@ -946,6 +1060,7 @@ impl<P: Probe> SecureMemoryController<P> {
             self.writeback_mac_line(ev.index, &ev.macs, Cycles::ZERO);
         }
         self.nvm.flush(Cycles::ZERO);
+        self.flush_metadata();
         let saved_root = self.persisted_root;
 
         // --- volatile state is gone ---

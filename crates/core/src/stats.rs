@@ -5,7 +5,6 @@
 //! CoW-cache miss rates (Fig 10b), and the command mix (Table V's
 //! copy/initialization traffic share).
 
-
 /// Event counters maintained by the secure memory controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {

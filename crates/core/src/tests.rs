@@ -10,10 +10,7 @@ use proptest::prelude::*;
 const ZERO: Cycles = Cycles::ZERO;
 
 fn small_config(scheme: SchemeKind) -> ControllerConfig {
-    ControllerConfig {
-        data_bytes: 16 << 20,
-        ..ControllerConfig::for_scheme(scheme)
-    }
+    ControllerConfig { data_bytes: 16 << 20, ..ControllerConfig::for_scheme(scheme) }
 }
 
 fn ctrl(scheme: SchemeKind) -> SecureMemoryController {
@@ -509,10 +506,7 @@ fn write_through_counter_writes_are_durable() {
     let before = c.nvm_stats().line_writes;
     c.write_data_line(line_of(page(0), 0), fill(1), ZERO);
     // Without any flush, the counter write has already hit the array.
-    assert!(
-        c.nvm_stats().line_writes > before,
-        "write-through must persist counters immediately"
-    );
+    assert!(c.nvm_stats().line_writes > before, "write-through must persist counters immediately");
 }
 
 #[test]
@@ -521,8 +515,7 @@ fn controller_composes_with_wear_leveling() {
     // its logical address, so the whole secure datapath (including
     // lazy CoW redirection) must be oblivious to it.
     let mut cfg = small_config(SchemeKind::LelantusResized);
-    cfg.nvm.wear_leveling =
-        Some(lelantus_nvm::StartGapConfig { gap_write_interval: 8 });
+    cfg.nvm.wear_leveling = Some(lelantus_nvm::StartGapConfig { gap_write_interval: 8 });
     let mut c = SecureMemoryController::new(cfg);
     for l in 0..64u64 {
         c.write_data_line(line_of(page(0), l), fill((l % 200) as u8 + 1), ZERO);
@@ -562,9 +555,8 @@ fn data_macs_survive_crash_and_catch_offline_tampering() {
     // Flip data bits "while powered off".
     c.tamper_data_for_test(addr);
     c.crash_and_recover().unwrap(); // counters are fine; tree passes
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        c.read_data_line(addr, ZERO)
-    }));
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.read_data_line(addr, ZERO)));
     assert!(result.is_err(), "offline data tampering must be caught on read");
 }
 

@@ -14,9 +14,9 @@
 //! A 64-byte line needs four 16-byte pads; a 2-bit block index inside
 //! the padding differentiates them.
 
-use crate::aes::{reference, Aes128};
 #[cfg(target_arch = "x86_64")]
 use crate::aes::ni;
+use crate::aes::{reference, Aes128};
 
 /// The cacheline size used throughout the reproduction (bytes).
 ///
@@ -190,8 +190,7 @@ impl CtrEngine {
         let mut pads = Vec::with_capacity(count);
         // One template IV per sweep: only the block index (byte 1) and
         // the line address (bytes 2..10) change between AES calls.
-        let mut iv =
-            Self::iv_bytes(IvSpec { line_addr: base_addr, major, minor }, 0);
+        let mut iv = Self::iv_bytes(IvSpec { line_addr: base_addr, major, minor }, 0);
         for i in 0..count {
             let line_addr = base_addr + (i * LINE_BYTES) as u64;
             iv[2..10].copy_from_slice(&line_addr.to_le_bytes());

@@ -12,9 +12,23 @@
 //! digests, with an LRU node cache modelling the trusted on-chip
 //! copies, and reports how many node fetches each verify/update needed
 //! so the memory controller can charge the corresponding traffic.
+//!
+//! # Deferred maintenance (host-side write combining)
+//!
+//! The *simulated* cost model walks leaf-to-root on every update — that
+//! is what the paper charges and what [`WalkStats`] reports. The
+//! *host-side* hash recomputation, however, does not have to happen per
+//! walk: with [`MerkleTree::with_deferred_maintenance`] an update marks
+//! its leaf dirty and ancestors are rehashed once per
+//! [`MerkleTree::flush`] point, so a page sweep that bumps 64
+//! neighbouring counters recomputes their shared ancestors once instead
+//! of 64 times. The cache-model walk (LRU ticks, hits, `WalkStats`) is
+//! performed identically in both modes, and verification force-flushes
+//! pending subtrees first, so nothing simulated can observe the
+//! difference.
 
 use crate::siphash::SipHash24;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Tree fan-out. Eight 64-bit child digests fit one 64-byte metadata
 /// line, mirroring how BMT nodes are laid out in NVM.
@@ -32,7 +46,11 @@ pub struct TamperError {
 
 impl std::fmt::Display for TamperError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "integrity violation for leaf {} detected at tree level {}", self.leaf, self.level)
+        write!(
+            f,
+            "integrity violation for leaf {} detected at tree level {}",
+            self.leaf, self.level
+        )
     }
 }
 
@@ -69,8 +87,16 @@ pub struct MerkleTree {
     /// LRU node cache: maps (level, index) -> lru tick. Nodes present
     /// here are trusted on-chip copies.
     cache: HashMap<(usize, usize), u64>,
+    /// Reverse index tick -> node for O(log n) eviction. Ticks are
+    /// unique (strictly monotonic), so the smallest key is exactly the
+    /// node a linear min-scan would have picked.
+    lru: BTreeMap<u64, (usize, usize)>,
     cache_capacity: usize,
     tick: u64,
+    /// When set, interior-node hashing is deferred to [`Self::flush`];
+    /// `dirty_leaves` holds the leaves whose ancestor paths are stale.
+    deferred: bool,
+    dirty_leaves: BTreeSet<usize>,
 }
 
 impl MerkleTree {
@@ -91,17 +117,37 @@ impl MerkleTree {
             let parent_len = below.len().div_ceil(ARITY);
             let mut parents = Vec::with_capacity(parent_len);
             for p in 0..parent_len {
-                parents.push(Self::node_hash(&mac, below, p));
+                parents.push(mac.hash_words(Self::sibling_group(below, p)));
             }
             levels.push(parents);
         }
-        Self { mac, levels, cache: HashMap::new(), cache_capacity, tick: 0 }
+        Self {
+            mac,
+            levels,
+            cache: HashMap::new(),
+            lru: BTreeMap::new(),
+            cache_capacity,
+            tick: 0,
+            deferred: false,
+            dirty_leaves: BTreeSet::new(),
+        }
     }
 
-    fn node_hash(mac: &SipHash24, below: &[u64], parent_idx: usize) -> u64 {
+    /// Switches the tree to deferred interior-node maintenance (see the
+    /// module docs): updates mark leaves dirty, ancestors are rehashed
+    /// at [`Self::flush`] / verify time. `WalkStats` and the node-cache
+    /// model are unaffected.
+    pub fn with_deferred_maintenance(mut self) -> Self {
+        self.deferred = true;
+        self
+    }
+
+    /// The parent's 8-ary child group — exactly the one metadata line a
+    /// hardware walk would fetch, so hashing it is O(arity), never
+    /// O(level width).
+    fn sibling_group(below: &[u64], parent_idx: usize) -> &[u64] {
         let start = parent_idx * ARITY;
-        let end = (start + ARITY).min(below.len());
-        mac.hash_words(&below[start..end])
+        &below[start..(start + ARITY).min(below.len())]
     }
 
     /// Number of counter-block leaves covered.
@@ -110,8 +156,30 @@ impl MerkleTree {
     }
 
     /// The on-chip root digest.
+    ///
+    /// Under deferred maintenance the caller must [`Self::flush`]
+    /// first; a debug build asserts there is nothing pending.
     pub fn root(&self) -> u64 {
+        debug_assert!(
+            self.dirty_leaves.is_empty(),
+            "flush deferred Merkle updates before reading the root"
+        );
         *self.levels.last().expect("nonempty").last().expect("root")
+    }
+
+    /// Number of leaves whose ancestor hashes are pending a
+    /// [`Self::flush`] (always 0 in eager mode).
+    pub fn pending_dirty_leaves(&self) -> usize {
+        self.dirty_leaves.len()
+    }
+
+    /// Moves a node to the LRU front under a fresh tick.
+    fn lru_bump(&mut self, level: usize, idx: usize) {
+        self.tick += 1;
+        if let Some(old) = self.cache.insert((level, idx), self.tick) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(self.tick, (level, idx));
     }
 
     fn cache_touch(&mut self, level: usize, idx: usize) {
@@ -119,10 +187,10 @@ impl MerkleTree {
         if level + 1 == self.levels.len() {
             return;
         }
-        self.tick += 1;
-        self.cache.insert((level, idx), self.tick);
+        self.lru_bump(level, idx);
         if self.cache.len() > self.cache_capacity {
-            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, &t)| t) {
+            // Smallest tick = least recently used.
+            if let Some((_, victim)) = self.lru.pop_first() {
                 self.cache.remove(&victim);
             }
         }
@@ -133,8 +201,7 @@ impl MerkleTree {
             return true; // root: always on-chip
         }
         if self.cache.contains_key(&(level, idx)) {
-            self.tick += 1;
-            self.cache.insert((level, idx), self.tick);
+            self.lru_bump(level, idx);
             true
         } else {
             false
@@ -149,17 +216,25 @@ impl MerkleTree {
     /// Panics if `leaf` is out of range.
     pub fn update_leaf(&mut self, leaf: usize, data: &[u8]) -> WalkStats {
         assert!(leaf < self.num_leaves(), "leaf {leaf} out of range");
+        let mac = self.mac;
         let mut stats = WalkStats::default();
-        self.levels[0][leaf] = self.mac.hash(data);
+        self.levels[0][leaf] = mac.hash(data);
         self.cache_touch(0, leaf);
         stats.nodes_written += 1;
+        if self.deferred {
+            self.dirty_leaves.insert(leaf);
+        }
         let mut idx = leaf;
         for level in 0..self.levels.len() - 1 {
             let parent = idx / ARITY;
-            let h = Self::node_hash(&self.mac, &self.levels[level], parent);
-            self.levels[level + 1][parent] = h;
+            if !self.deferred {
+                self.levels[level + 1][parent] =
+                    mac.hash_words(Self::sibling_group(&self.levels[level], parent));
+            }
             // Updating a parent requires its children; charge a fetch if
-            // the node was not cached.
+            // the node was not cached. This cost-model walk runs the
+            // same in both modes — deferral skips only the host-side
+            // hashing above.
             if !self.cache_hit(level + 1, parent) {
                 stats.nodes_fetched += 1;
             }
@@ -169,6 +244,33 @@ impl MerkleTree {
             idx = parent;
         }
         stats
+    }
+
+    /// Recomputes every interior node made stale by deferred updates,
+    /// bottom-up and each node once, and returns how many node hashes
+    /// that took. A no-op (returning 0) in eager mode or when nothing
+    /// is dirty; purely host-side, so it touches neither the node
+    /// cache nor any statistic.
+    pub fn flush(&mut self) -> u64 {
+        if self.dirty_leaves.is_empty() {
+            return 0;
+        }
+        let mac = self.mac;
+        let mut recomputed = 0;
+        // BTreeSet iterates ascending, so each level's parent list is
+        // sorted and plain dedup coalesces shared ancestors.
+        let mut dirty: Vec<usize> = std::mem::take(&mut self.dirty_leaves).into_iter().collect();
+        for level in 0..self.levels.len() - 1 {
+            let mut parents: Vec<usize> = dirty.iter().map(|&i| i / ARITY).collect();
+            parents.dedup();
+            for &p in &parents {
+                self.levels[level + 1][p] =
+                    mac.hash_words(Self::sibling_group(&self.levels[level], p));
+                recomputed += 1;
+            }
+            dirty = parents;
+        }
+        recomputed
     }
 
     /// Verifies that `data` is the authentic content of leaf `leaf`.
@@ -185,6 +287,11 @@ impl MerkleTree {
     /// Panics if `leaf` is out of range.
     pub fn verify_leaf(&mut self, leaf: usize, data: &[u8]) -> Result<WalkStats, TamperError> {
         assert!(leaf < self.num_leaves(), "leaf {leaf} out of range");
+        // Deferred updates leave interior nodes stale; bring the whole
+        // tree current before comparing digests. Flushing is host-side
+        // only, so the walk below still sees the exact cache state and
+        // reports the exact stats an eager tree would.
+        self.flush();
         let mut stats = WalkStats::default();
         let digest = self.mac.hash(data);
         if self.cache_hit(0, leaf) {
@@ -205,7 +312,7 @@ impl MerkleTree {
             // Fetch the 7 siblings (one metadata line) to recompute the
             // parent digest.
             stats.nodes_fetched += 1;
-            let recomputed = Self::node_hash(&self.mac, &self.levels[level], parent);
+            let recomputed = self.mac.hash_words(Self::sibling_group(&self.levels[level], parent));
             if recomputed != self.levels[level + 1][parent] {
                 return Err(TamperError { leaf, level: level + 1 });
             }
@@ -224,7 +331,9 @@ impl MerkleTree {
     /// fault-injection; models an attacker flipping NVM bits).
     pub fn corrupt_leaf_digest(&mut self, leaf: usize) {
         self.levels[0][leaf] ^= 0xdead_beef;
-        self.cache.remove(&(0, leaf));
+        if let Some(t) = self.cache.remove(&(0, leaf)) {
+            self.lru.remove(&t);
+        }
     }
 }
 
@@ -303,6 +412,93 @@ mod tests {
         }
     }
 
+    #[test]
+    fn deferred_flush_converges_to_eager_root() {
+        let mut eager = tree(512);
+        let mut deferred = tree(512).with_deferred_maintenance();
+        for leaf in [0usize, 1, 2, 63, 64, 200, 511, 2, 0] {
+            eager.update_leaf(leaf, b"payload");
+            deferred.update_leaf(leaf, b"payload");
+        }
+        assert!(deferred.pending_dirty_leaves() > 0);
+        let recomputed = deferred.flush();
+        assert!(recomputed > 0);
+        assert_eq!(deferred.pending_dirty_leaves(), 0);
+        assert_eq!(deferred.root(), eager.root());
+        // Flushing again is free: nothing is dirty.
+        assert_eq!(deferred.flush(), 0);
+    }
+
+    #[test]
+    fn deferred_walkstats_match_eager_exactly() {
+        // The paper-model traffic must be bit-identical in both modes,
+        // across update and verify walks, including cache evictions
+        // (tiny capacity forces plenty).
+        let mut eager = MerkleTree::new(4096, (7, 8), 8);
+        let mut deferred = MerkleTree::new(4096, (7, 8), 8).with_deferred_maintenance();
+        let leaves = [5usize, 13, 5, 4090, 77, 78, 79, 80, 5, 1024, 2048, 13];
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let data = [i as u8; 17];
+            assert_eq!(
+                eager.update_leaf(leaf, &data),
+                deferred.update_leaf(leaf, &data),
+                "update walk {i} diverged"
+            );
+            if i % 3 == 0 {
+                assert_eq!(
+                    eager.verify_leaf(leaf, &data).unwrap(),
+                    deferred.verify_leaf(leaf, &data).unwrap(),
+                    "verify walk {i} diverged"
+                );
+            }
+        }
+        deferred.flush();
+        assert_eq!(eager.root(), deferred.root());
+    }
+
+    #[test]
+    fn flush_coalesces_shared_ancestors() {
+        // A 64-leaf sweep over one 8-ary subtree shares all interior
+        // nodes: the combiner recomputes each once. 512 leaves = 4
+        // levels (512/64/8/1); leaves 0..64 dirty 8 + 1 + 1 interior
+        // nodes, versus 64 × 3 = 192 hashes walked eagerly.
+        let mut t = tree(512).with_deferred_maintenance();
+        for leaf in 0..64 {
+            t.update_leaf(leaf, b"sweep");
+        }
+        assert_eq!(t.flush(), 10);
+    }
+
+    #[test]
+    fn verify_force_flushes_pending_updates() {
+        let mut t = tree(256).with_deferred_maintenance();
+        t.update_leaf(9, b"new contents");
+        assert_eq!(t.pending_dirty_leaves(), 1);
+        // Interior nodes are stale here; verify must flush, then pass.
+        assert!(t.verify_leaf(9, b"new contents").is_ok());
+        assert_eq!(t.pending_dirty_leaves(), 0);
+        assert!(t.verify_leaf(9, b"other contents").is_err());
+    }
+
+    #[test]
+    fn verify_walkstats_pinned() {
+        // Pins the exact cold-walk traffic so the sibling-group hashing
+        // rework stays cost-model neutral: 4096 leaves = 5 levels, so a
+        // cold verify climbs 4 levels fetching one metadata line each.
+        let mut t = MerkleTree::new(4096, (1, 2), 64);
+        let stats = t.verify_leaf(1234, b"").unwrap();
+        assert_eq!(stats, WalkStats { nodes_fetched: 4, nodes_written: 0, levels_walked: 4 });
+        // A cold update additionally writes the leaf plus one node per
+        // level, and finds the three upper ancestors cached by the
+        // verify above (leaf group 154's path was just touched).
+        let stats = t.update_leaf(1234, b"x");
+        assert_eq!(stats.levels_walked, 4);
+        assert_eq!(stats.nodes_written, 5);
+        // Cached re-verify is free.
+        let stats = t.verify_leaf(1234, b"x").unwrap();
+        assert_eq!(stats, WalkStats::default());
+    }
+
     proptest! {
         #[test]
         fn prop_updates_verify_and_tampering_detected(
@@ -320,6 +516,28 @@ mod tests {
                 wrong.push(0xFF);
                 prop_assert!(t.verify_leaf(*leaf, &wrong).is_err());
             }
+        }
+
+        /// Eager and deferred trees see identical walks and roots for
+        /// arbitrary op interleavings (flush at arbitrary points).
+        #[test]
+        fn prop_deferred_mode_equivalent(
+            ops in prop::collection::vec((0usize..256, any::<u8>(), any::<bool>()), 1..60)
+        ) {
+            let mut eager = MerkleTree::new(256, (3, 4), 16);
+            let mut deferred = MerkleTree::new(256, (3, 4), 16).with_deferred_maintenance();
+            for (leaf, byte, and_verify) in &ops {
+                let data = [*byte; 9];
+                prop_assert_eq!(eager.update_leaf(*leaf, &data), deferred.update_leaf(*leaf, &data));
+                if *and_verify {
+                    prop_assert_eq!(
+                        eager.verify_leaf(*leaf, &data).unwrap(),
+                        deferred.verify_leaf(*leaf, &data).unwrap()
+                    );
+                }
+            }
+            deferred.flush();
+            prop_assert_eq!(eager.root(), deferred.root());
         }
     }
 }

@@ -69,12 +69,39 @@ impl SipHash24 {
     }
 
     /// Hashes a sequence of 64-bit words (convenience for tree nodes).
+    ///
+    /// Produces exactly the tag of [`SipHash24::hash`] over the words'
+    /// little-endian concatenation, but feeds each word straight into
+    /// the compression rounds — no intermediate byte buffer, so the
+    /// Merkle tree's per-node hashing does not allocate. Because the
+    /// input length is a whole number of 8-byte blocks, the final
+    /// block is just the length tag.
     pub fn hash_words(&self, words: &[u64]) -> u64 {
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
+        let mut v0 = 0x736f6d6570736575u64 ^ self.k0;
+        let mut v1 = 0x646f72616e646f6du64 ^ self.k1;
+        let mut v2 = 0x6c7967656e657261u64 ^ self.k0;
+        let mut v3 = 0x7465646279746573u64 ^ self.k1;
+
+        for &m in words {
+            v3 ^= m;
+            for _ in 0..2 {
+                sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+            }
+            v0 ^= m;
         }
-        self.hash(&bytes)
+
+        let last = (words.len() as u64 * 8) << 56;
+        v3 ^= last;
+        for _ in 0..2 {
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^= last;
+
+        v2 ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^ v1 ^ v2 ^ v3
     }
 }
 
@@ -137,11 +164,15 @@ mod tests {
     #[test]
     fn hash_words_matches_bytes() {
         let mac = SipHash24::new(5, 6);
-        let words = [0x1122334455667788u64, 0x99aabbccddeeff00];
-        let mut bytes = Vec::new();
-        for w in &words {
-            bytes.extend_from_slice(&w.to_le_bytes());
+        // Every length a tree node can have (1..=ARITY children), plus
+        // the empty input, must match the byte-wise hash exactly.
+        let words: Vec<u64> = (0..9).map(|i| 0x1122334455667788u64.wrapping_mul(i + 1)).collect();
+        for n in 0..=words.len() {
+            let mut bytes = Vec::new();
+            for w in &words[..n] {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            assert_eq!(mac.hash_words(&words[..n]), mac.hash(&bytes), "n = {n}");
         }
-        assert_eq!(mac.hash_words(&words), mac.hash(&bytes));
     }
 }

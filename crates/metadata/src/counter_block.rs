@@ -16,9 +16,25 @@
 //! not been copied yet"; the first write moves it to 1, which is how a
 //! copy completes implicitly (paper §III-B).
 
-
 /// Number of minor counters (lines) per counter block.
 pub const MINORS: usize = 64;
+
+/// Which codec implementation (de)serializes counter blocks.
+///
+/// Both produce bit-identical wire bytes; [`CounterCodec::Word`] packs
+/// minors through u64 shift/mask words (eight 6/7-bit minors per
+/// word), while [`CounterCodec::Reference`] is the original
+/// bit-by-bit loop kept as the behavioural oracle — the same pattern
+/// as the AES `reference` backend behind
+/// `SimConfig::with_reference_aes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CounterCodec {
+    /// Word-level bit packing (the fast default).
+    #[default]
+    Word,
+    /// The original bit-by-bit loops (equivalence-test oracle).
+    Reference,
+}
 
 /// Which wire format a counter block is serialized with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,7 +199,8 @@ impl CounterBlock {
         }
     }
 
-    /// Serializes to the 64-byte wire format.
+    /// Serializes to the 64-byte wire format with the fast
+    /// [`CounterCodec::Word`] codec.
     ///
     /// # Panics
     ///
@@ -191,6 +208,93 @@ impl CounterBlock {
     /// [`CounterEncoding::Classic`], a minor or major exceeding the
     /// encoding's ceiling.
     pub fn encode(&self, encoding: CounterEncoding) -> [u8; 64] {
+        self.encode_with(encoding, CounterCodec::Word)
+    }
+
+    /// Deserializes from the 64-byte wire format with the fast
+    /// [`CounterCodec::Word`] codec.
+    pub fn decode(bytes: &[u8; 64], encoding: CounterEncoding) -> Self {
+        Self::decode_with(bytes, encoding, CounterCodec::Word)
+    }
+
+    /// Serializes with an explicit codec (see [`CounterCodec`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CounterBlock::encode`], with identical
+    /// messages under either codec.
+    pub fn encode_with(&self, encoding: CounterEncoding, codec: CounterCodec) -> [u8; 64] {
+        match codec {
+            CounterCodec::Word => self.encode_word(encoding),
+            CounterCodec::Reference => self.encode_reference(encoding),
+        }
+    }
+
+    /// Deserializes with an explicit codec (see [`CounterCodec`]).
+    pub fn decode_with(bytes: &[u8; 64], encoding: CounterEncoding, codec: CounterCodec) -> Self {
+        match codec {
+            CounterCodec::Word => Self::decode_word(bytes, encoding),
+            CounterCodec::Reference => Self::decode_reference(bytes, encoding),
+        }
+    }
+
+    /// Word-level encoder: the major (and flag bit) land as one
+    /// little-endian u64; minors pack eight at a time through u64
+    /// shifts (8 × 7 bits = 56 bits = 7 bytes for regular minors,
+    /// 8 × 6 bits = 48 bits = 6 bytes for CoW minors), branch-free per
+    /// group. Bit layout is identical to the reference codec because
+    /// the wire format is LSB-first within each byte — exactly the
+    /// order a little-endian u64 store produces.
+    fn encode_word(&self, encoding: CounterEncoding) -> [u8; 64] {
+        let mut buf = [0u8; 64];
+        match encoding {
+            CounterEncoding::Classic => {
+                assert!(
+                    !self.is_cow(),
+                    "classic encoding has no in-band CoW fields (use the supplementary table)"
+                );
+                buf[..8].copy_from_slice(&self.major.to_le_bytes());
+                pack_minors7(&mut buf, &self.minors, "classic minor is 7-bit");
+            }
+            CounterEncoding::Resized => {
+                assert!(self.major <= encoding.major_max(), "resized major is 63-bit");
+                match self.cow_src {
+                    None => {
+                        buf[..8].copy_from_slice(&(self.major << 1).to_le_bytes());
+                        pack_minors7(&mut buf, &self.minors, "regular minor is 7-bit");
+                    }
+                    Some(src) => {
+                        buf[..8].copy_from_slice(&((self.major << 1) | 1).to_le_bytes());
+                        pack_minors6(&mut buf, &self.minors);
+                        buf[56..64].copy_from_slice(&src.to_le_bytes());
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Word-level decoder (see [`CounterBlock::encode_word`]).
+    fn decode_word(bytes: &[u8; 64], encoding: CounterEncoding) -> Self {
+        let word0 = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        match encoding {
+            CounterEncoding::Classic => {
+                Self { major: word0, minors: unpack_minors7(bytes), cow_src: None }
+            }
+            CounterEncoding::Resized => {
+                let major = word0 >> 1;
+                if word0 & 1 == 0 {
+                    Self { major, minors: unpack_minors7(bytes), cow_src: None }
+                } else {
+                    let src = u64::from_le_bytes(bytes[56..64].try_into().expect("8 bytes"));
+                    Self { major, minors: unpack_minors6(bytes), cow_src: Some(src) }
+                }
+            }
+        }
+    }
+
+    /// The original bit-by-bit encoder, kept as the equivalence oracle.
+    fn encode_reference(&self, encoding: CounterEncoding) -> [u8; 64] {
         let mut buf = [0u8; 64];
         match encoding {
             CounterEncoding::Classic => {
@@ -230,8 +334,8 @@ impl CounterBlock {
         buf
     }
 
-    /// Deserializes from the 64-byte wire format.
-    pub fn decode(bytes: &[u8; 64], encoding: CounterEncoding) -> Self {
+    /// The original bit-by-bit decoder, kept as the equivalence oracle.
+    fn decode_reference(bytes: &[u8; 64], encoding: CounterEncoding) -> Self {
         match encoding {
             CounterEncoding::Classic => {
                 let major = read_bits(bytes, 0, 64);
@@ -261,6 +365,63 @@ impl CounterBlock {
             }
         }
     }
+}
+
+/// Packs 64 seven-bit minors into bytes 8..64: each group of eight
+/// minors is exactly 56 bits, built in one u64 and stored as seven
+/// little-endian bytes.
+fn pack_minors7(buf: &mut [u8; 64], minors: &[u8; MINORS], ceiling_msg: &str) {
+    for g in 0..8 {
+        let mut w = 0u64;
+        for j in 0..8 {
+            let m = minors[8 * g + j];
+            assert!(m <= 127, "{}", ceiling_msg);
+            w |= (m as u64) << (7 * j);
+        }
+        buf[8 + 7 * g..8 + 7 * g + 7].copy_from_slice(&w.to_le_bytes()[..7]);
+    }
+}
+
+/// Packs 64 six-bit CoW minors into bytes 8..56: each group of eight
+/// minors is 48 bits, stored as six little-endian bytes.
+fn pack_minors6(buf: &mut [u8; 64], minors: &[u8; MINORS]) {
+    for g in 0..8 {
+        let mut w = 0u64;
+        for j in 0..8 {
+            let m = minors[8 * g + j];
+            assert!(m <= 63, "CoW minor is 6-bit");
+            w |= (m as u64) << (6 * j);
+        }
+        buf[8 + 6 * g..8 + 6 * g + 6].copy_from_slice(&w.to_le_bytes()[..6]);
+    }
+}
+
+/// Inverse of [`pack_minors7`].
+fn unpack_minors7(bytes: &[u8; 64]) -> [u8; MINORS] {
+    let mut minors = [0u8; MINORS];
+    for g in 0..8 {
+        let mut word = [0u8; 8];
+        word[..7].copy_from_slice(&bytes[8 + 7 * g..8 + 7 * g + 7]);
+        let w = u64::from_le_bytes(word);
+        for j in 0..8 {
+            minors[8 * g + j] = ((w >> (7 * j)) & 0x7f) as u8;
+        }
+    }
+    minors
+}
+
+/// Inverse of [`pack_minors6`].
+fn unpack_minors6(bytes: &[u8; 64]) -> [u8; MINORS] {
+    let mut minors = [0u8; MINORS];
+    for g in 0..8 {
+        let mut word = [0u8; 8];
+        word[..6].copy_from_slice(&bytes[8 + 6 * g..8 + 6 * g + 6]);
+        let w = u64::from_le_bytes(word);
+        for j in 0..8 {
+            minors[8 * g + j] = ((w >> (6 * j)) & 0x3f) as u8;
+        }
+    }
+    minors
 }
 
 /// Reads `len` (≤ 64) bits starting at absolute bit `start` (LSB-first
@@ -366,10 +527,7 @@ mod tests {
         for expected in 1..=63u8 {
             assert_eq!(b.increment_minor(7, CounterEncoding::Resized), Ok(expected));
         }
-        assert_eq!(
-            b.increment_minor(7, CounterEncoding::Resized),
-            Err(MinorOverflow { line: 7 })
-        );
+        assert_eq!(b.increment_minor(7, CounterEncoding::Resized), Err(MinorOverflow { line: 7 }));
         // Classic minors go to 127.
         let mut r = CounterBlock::fresh_regular(1);
         for _ in 0..126 {
@@ -458,5 +616,102 @@ mod tests {
             write_bits(&mut buf, start, len, masked);
             prop_assert_eq!(read_bits(&buf, start, len), masked);
         }
+    }
+
+    /// Checks one block against both codecs under one encoding: the
+    /// wire bytes must be byte-identical, and all four
+    /// (codec × direction) combinations must return the block.
+    fn assert_codecs_agree(b: &CounterBlock, encoding: CounterEncoding) {
+        let word = b.encode_with(encoding, CounterCodec::Word);
+        let reference = b.encode_with(encoding, CounterCodec::Reference);
+        assert_eq!(word, reference, "codecs disagree on wire bytes ({encoding:?})");
+        assert_eq!(&CounterBlock::decode_with(&word, encoding, CounterCodec::Word), b);
+        assert_eq!(&CounterBlock::decode_with(&word, encoding, CounterCodec::Reference), b);
+    }
+
+    // Word-codec equivalence: the fast path must be byte-identical to
+    // the bit-by-bit reference for every encoding (ISSUE 3 satellite).
+    proptest! {
+        /// Solution-2 layout (7-bit minors), classic encoding.
+        #[test]
+        fn prop_word_codec_matches_reference_classic(
+            major in any::<u64>(),
+            lo in prop::array::uniform32(0u8..=127),
+            hi in prop::array::uniform32(0u8..=127),
+        ) {
+            let mut b = CounterBlock::fresh_regular(0);
+            b.major = major;
+            b.minors[..32].copy_from_slice(&lo);
+            b.minors[32..].copy_from_slice(&hi);
+            assert_codecs_agree(&b, CounterEncoding::Classic);
+        }
+
+        /// Solution-2 layout (flag = 0, 7-bit minors), resized encoding.
+        #[test]
+        fn prop_word_codec_matches_reference_resized_regular(
+            major in 0u64..(1 << 63),
+            lo in prop::array::uniform32(0u8..=127),
+            hi in prop::array::uniform32(0u8..=127),
+        ) {
+            let mut b = CounterBlock::fresh_regular(0);
+            b.major = major;
+            b.minors[..32].copy_from_slice(&lo);
+            b.minors[32..].copy_from_slice(&hi);
+            assert_codecs_agree(&b, CounterEncoding::Resized);
+        }
+
+        /// Solution-1 layout (flag = 1, 6-bit minors + source address).
+        #[test]
+        fn prop_word_codec_matches_reference_resized_cow(
+            major in 0u64..(1 << 63),
+            src in any::<u64>(),
+            lo in prop::array::uniform32(0u8..=63),
+            hi in prop::array::uniform32(0u8..=63),
+        ) {
+            let mut b = CounterBlock::fresh_cow(src);
+            b.major = major;
+            b.minors[..32].copy_from_slice(&lo);
+            b.minors[32..].copy_from_slice(&hi);
+            assert_codecs_agree(&b, CounterEncoding::Resized);
+        }
+    }
+
+    #[test]
+    fn word_codec_matches_reference_edge_cases() {
+        // All-zero minors: the freshly-CoW'd "no line copied yet"
+        // block, plus its regular twin.
+        assert_codecs_agree(&CounterBlock::fresh_cow(0), CounterEncoding::Resized);
+        assert_codecs_agree(&CounterBlock::fresh_cow(u64::MAX), CounterEncoding::Resized);
+        let mut zero = CounterBlock::fresh_regular(0);
+        zero.minors = [0; MINORS];
+        assert_codecs_agree(&zero, CounterEncoding::Classic);
+        assert_codecs_agree(&zero, CounterEncoding::Resized);
+
+        // Saturated minors at each encoding's ceiling (the overflow
+        // boundary increment_minor stops at).
+        let mut sat = CounterBlock::fresh_regular(0);
+        sat.major = u64::MAX;
+        sat.minors = [127; MINORS];
+        assert_codecs_agree(&sat, CounterEncoding::Classic);
+        sat.major = (1 << 63) - 1;
+        assert_codecs_agree(&sat, CounterEncoding::Resized);
+        let mut cow_sat = CounterBlock::fresh_cow(u64::MAX);
+        cow_sat.major = (1 << 63) - 1;
+        cow_sat.minors = [63; MINORS];
+        assert_codecs_agree(&cow_sat, CounterEncoding::Resized);
+    }
+
+    #[test]
+    #[should_panic(expected = "CoW minor is 6-bit")]
+    fn word_codec_enforces_cow_minor_ceiling() {
+        let mut b = CounterBlock::fresh_cow(1);
+        b.minors[63] = 64;
+        b.encode_with(CounterEncoding::Resized, CounterCodec::Word);
+    }
+
+    #[test]
+    #[should_panic(expected = "classic encoding has no in-band CoW fields")]
+    fn word_codec_rejects_classic_cow() {
+        CounterBlock::fresh_cow(1).encode_with(CounterEncoding::Classic, CounterCodec::Word);
     }
 }

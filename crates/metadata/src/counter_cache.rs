@@ -211,7 +211,12 @@ impl CounterCache {
 
     /// Inserts a block (on fill), evicting the LRU entry of the set if
     /// full; a dirty victim is returned for write-back.
-    pub fn insert(&mut self, region: u64, block: CounterBlock, dirty: bool) -> Option<EvictedCounter> {
+    pub fn insert(
+        &mut self,
+        region: u64,
+        block: CounterBlock,
+        dirty: bool,
+    ) -> Option<EvictedCounter> {
         let set = self.set_of(region);
         self.tick += 1;
         let tick = self.tick;
@@ -273,7 +278,11 @@ mod tests {
     use crate::counter_block::CounterBlock;
 
     fn tiny() -> CounterCache {
-        CounterCache::new(CounterCacheConfig { entries: 4, ways: 2, policy: WritePolicy::WriteBack })
+        CounterCache::new(CounterCacheConfig {
+            entries: 4,
+            ways: 2,
+            policy: WritePolicy::WriteBack,
+        })
     }
 
     #[test]

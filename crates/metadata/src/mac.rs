@@ -9,7 +9,7 @@
 //! 64-byte metadata line, placed by [`crate::MetadataLayout`]) and the
 //! memory controller computes them with its keyed hash.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Number of 8-byte MACs per 64-byte metadata line.
 pub const MACS_PER_LINE: usize = 8;
@@ -66,6 +66,10 @@ pub struct EvictedMacLine {
 #[derive(Debug)]
 pub struct MacCache {
     entries: HashMap<u64, (MacLine, bool, u64)>,
+    /// Reverse index lru-tick -> line index for O(log n) eviction.
+    /// Ticks are unique (strictly monotonic per assignment), so the
+    /// smallest key is exactly the line a linear min-scan would pick.
+    lru: BTreeMap<u64, u64>,
     capacity: usize,
     tick: u64,
     stats: MacCacheStats,
@@ -79,7 +83,13 @@ impl MacCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MAC cache needs capacity");
-        Self { entries: HashMap::new(), capacity, tick: 0, stats: MacCacheStats::default() }
+        Self {
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            stats: MacCacheStats::default(),
+        }
     }
 
     /// Accumulated counters.
@@ -93,9 +103,12 @@ impl MacCache {
         let tick = self.tick;
         match self.entries.get_mut(&index) {
             Some((line, _, lru)) => {
-                *lru = tick;
+                let line = *line;
+                let old = std::mem::replace(lru, tick);
+                self.lru.remove(&old);
+                self.lru.insert(tick, index);
                 self.stats.hits += 1;
-                Some(*line)
+                Some(line)
             }
             None => {
                 self.stats.misses += 1;
@@ -112,13 +125,14 @@ impl MacCache {
         if let Some(e) = self.entries.get_mut(&index) {
             e.0 = macs;
             e.1 |= dirty;
-            e.2 = tick;
+            let old = std::mem::replace(&mut e.2, tick);
+            self.lru.remove(&old);
+            self.lru.insert(tick, index);
             return None;
         }
         let victim = if self.entries.len() >= self.capacity {
-            let victim_key =
-                self.entries.iter().min_by_key(|(_, (_, _, lru))| *lru).map(|(&k, _)| k);
-            victim_key.and_then(|k| {
+            // Smallest tick = least recently used.
+            self.lru.pop_first().and_then(|(_, k)| {
                 let (line, was_dirty, _) = self.entries.remove(&k).expect("present");
                 if was_dirty {
                     self.stats.writebacks += 1;
@@ -131,19 +145,35 @@ impl MacCache {
             None
         };
         self.entries.insert(index, (macs, dirty, tick));
+        self.lru.insert(tick, index);
         victim
     }
 
     /// Updates one tag within a (resident) MAC line, marking it dirty.
     /// Returns false if the line is not resident.
     pub fn update_tag(&mut self, index: u64, slot: usize, tag: u64) -> bool {
-        self.tick += 1;
+        self.update_tags(index, &[(slot, tag)])
+    }
+
+    /// Applies a batch of `(slot, tag)` writes to one (resident) MAC
+    /// line in order, marking it dirty. Exactly equivalent to that many
+    /// sequential [`MacCache::update_tag`] calls — the LRU tick
+    /// advances once per buffered write and the entry lands on the
+    /// final tick — which is what lets a write combiner replay its
+    /// pending updates in one cache access. Returns false (and still
+    /// advances the tick) if the line is not resident.
+    pub fn update_tags(&mut self, index: u64, updates: &[(usize, u64)]) -> bool {
+        self.tick += updates.len() as u64;
         let tick = self.tick;
         match self.entries.get_mut(&index) {
             Some((line, dirty, lru)) => {
-                line[slot] = tag;
+                for &(slot, tag) in updates {
+                    line[slot] = tag;
+                }
                 *dirty = true;
-                *lru = tick;
+                let old = std::mem::replace(lru, tick);
+                self.lru.remove(&old);
+                self.lru.insert(tick, index);
                 true
             }
             None => false,
@@ -166,6 +196,7 @@ impl MacCache {
     /// Drops all entries (power loss — MACs persist in NVM).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.lru.clear();
     }
 
     /// Number of resident MAC lines.
@@ -246,6 +277,33 @@ mod tests {
         assert!(c.drain_dirty().is_empty());
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn batched_updates_match_sequential() {
+        // Two caches, one driven tag-by-tag, one by the batch API: the
+        // observable state (contents, LRU victims, stats) must match.
+        let mut seq = MacCache::new(2);
+        let mut bat = MacCache::new(2);
+        for c in [&mut seq, &mut bat] {
+            c.fill(1, [0; 8], false);
+            c.fill(2, [0; 8], false);
+        }
+        let updates: Vec<(usize, u64)> = (0..8).map(|s| (s, 100 + s as u64)).collect();
+        for &(slot, tag) in &updates {
+            assert!(seq.update_tag(1, slot, tag));
+        }
+        assert!(bat.update_tags(1, &updates));
+        assert_eq!(seq.get(1), bat.get(1));
+        // Line 2 is now LRU in both; the next fill evicts it, not the
+        // freshly-updated line 1.
+        let vs = seq.fill(3, [3; 8], false);
+        let vb = bat.fill(3, [3; 8], false);
+        assert_eq!(vs, vb);
+        assert!(seq.get(1).is_some() && bat.get(1).is_some());
+        assert_eq!(seq.stats(), bat.stats());
+        // A miss still advances the clock but reports false.
+        assert!(!bat.update_tags(99, &[(0, 1)]));
     }
 
     #[test]

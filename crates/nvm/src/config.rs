@@ -120,8 +120,6 @@ mod tests {
         assert!(NvmConfig { ranks: 0, ..NvmConfig::default() }.validate().is_err());
         assert!(NvmConfig { row_buffer_bytes: 100, ..NvmConfig::default() }.validate().is_err());
         assert!(NvmConfig { capacity_bytes: 0, ..NvmConfig::default() }.validate().is_err());
-        assert!(
-            NvmConfig { row_hit_latency: 1000, ..NvmConfig::default() }.validate().is_err()
-        );
+        assert!(NvmConfig { row_hit_latency: 1000, ..NvmConfig::default() }.validate().is_err());
     }
 }

@@ -127,11 +127,7 @@ impl<P: Probe> NvmDevice<P> {
     /// Accumulated statistics (write-queue figures folded in).
     pub fn stats(&self) -> NvmStats {
         let wq = self.write_queue.stats();
-        NvmStats {
-            forwarded_reads: wq.forwarded_reads,
-            merged_writes: wq.merged,
-            ..self.stats
-        }
+        NvmStats { forwarded_reads: wq.forwarded_reads, merged_writes: wq.merged, ..self.stats }
     }
 
     /// Wear tracker for endurance reporting.
@@ -166,8 +162,11 @@ impl<P: Probe> NvmDevice<P> {
     fn array_access_device(&mut self, addr: PhysAddr, now: Cycles, is_write: bool) -> Cycles {
         let bank_idx = self.bank_index(addr);
         let row = self.row_id(addr);
-        let miss_latency =
-            Cycles::new(if is_write { self.config.write_latency } else { self.config.read_latency });
+        let miss_latency = Cycles::new(if is_write {
+            self.config.write_latency
+        } else {
+            self.config.read_latency
+        });
         let hit_latency = if is_write {
             // Writes to an open row still pay the array write; the row
             // buffer only saves the activation, modelled as the
@@ -186,11 +185,8 @@ impl<P: Probe> NvmDevice<P> {
         } else {
             self.stats.row_misses += 1;
         }
-        self.stats.energy_pj += if is_write {
-            self.config.write_energy_pj
-        } else {
-            self.config.read_energy_pj
-        };
+        self.stats.energy_pj +=
+            if is_write { self.config.write_energy_pj } else { self.config.read_energy_pj };
         // The 64-byte transfer serializes on the rank's shared data bus.
         let rank = bank_idx / self.config.banks_per_rank;
         let start = access.done_at.max(self.bus_busy[rank]);
@@ -280,7 +276,12 @@ impl<P: Probe> NvmDevice<P> {
     /// whose whole point is that the update is persistent immediately —
     /// paper §V-E). Any queued volatile write to the same line is
     /// superseded.
-    pub fn write_line_durable(&mut self, addr: PhysAddr, data: [u8; LINE_BYTES], now: Cycles) -> Cycles {
+    pub fn write_line_durable(
+        &mut self,
+        addr: PhysAddr,
+        data: [u8; LINE_BYTES],
+        now: Cycles,
+    ) -> Cycles {
         let line = addr.line_align();
         let device = self.map_addr(line);
         self.contents.insert(device.as_u64(), data);

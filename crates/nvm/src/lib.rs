@@ -44,7 +44,7 @@ pub mod write_queue;
 
 pub use config::NvmConfig;
 pub use device::NvmDevice;
+pub use start_gap::{StartGap, StartGapConfig};
 pub use stats::NvmStats;
 pub use store::LineStore;
-pub use start_gap::{StartGap, StartGapConfig};
 pub use wear::WearTracker;

@@ -15,7 +15,6 @@
 //! instantiates it per 64-byte line as in the original design, so a gap
 //! move copies a single line — <1 % overhead at ψ = 100.
 
-
 /// Start-Gap configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StartGapConfig {

@@ -1,6 +1,5 @@
 //! Device-level statistics.
 
-
 /// Counters exported by the NVM device.
 ///
 /// `line_writes` is the paper's headline "number of NVM writes" metric

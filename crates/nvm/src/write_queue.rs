@@ -64,7 +64,11 @@ impl WriteQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "write queue needs capacity");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: WriteQueueStats::default() }
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: WriteQueueStats::default(),
+        }
     }
 
     /// Number of distinct pending line writes.
@@ -90,12 +94,7 @@ impl WriteQueue {
     /// Enqueues a write; merging into an existing entry for the same
     /// line if present. Returns the entry that must be drained first
     /// when the queue overflows.
-    pub fn push(
-        &mut self,
-        addr: PhysAddr,
-        data: [u8; 64],
-        now: Cycles,
-    ) -> Option<PendingWrite> {
+    pub fn push(&mut self, addr: PhysAddr, data: [u8; 64], now: Cycles) -> Option<PendingWrite> {
         let addr = addr.line_align();
         self.stats.enqueued += 1;
         if let Some(existing) = self.entries.iter_mut().find(|e| e.addr == addr) {

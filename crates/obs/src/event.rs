@@ -299,11 +299,7 @@ impl Event {
     /// `{"cycle":42,"kind":"counter_fetch","region":7}`.
     pub fn to_jsonl(&self) -> String {
         let fields = self.kind.json_fields();
-        format!(
-            "{{\"cycle\":{},\"kind\":\"{}\",{fields}}}",
-            self.cycle.as_u64(),
-            self.kind.name()
-        )
+        format!("{{\"cycle\":{},\"kind\":\"{}\",{fields}}}", self.cycle.as_u64(), self.kind.name())
     }
 }
 

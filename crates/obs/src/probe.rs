@@ -355,10 +355,7 @@ mod tests {
         let path = std::env::temp_dir().join("lelantus_obs_jsonl_test.jsonl");
         let probe = JsonlProbe::create(&path).unwrap();
         probe.emit(ev(5));
-        probe.emit(Event {
-            cycle: Cycles::new(6),
-            kind: EventKind::Fork { parent: 1, child: 2 },
-        });
+        probe.emit(Event { cycle: Cycles::new(6), kind: EventKind::Fork { parent: 1, child: 2 } });
         probe.flush().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();

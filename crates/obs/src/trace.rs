@@ -27,9 +27,8 @@ fn ts_us(cycle: u64) -> f64 {
 /// document (`{"traceEvents":[...]}`). Events become instant events on
 /// tid 0 of pid 1; each series becomes a counter track.
 pub fn chrome_trace(events: &[Event], series: &[CounterSeries]) -> String {
-    let mut entries: Vec<String> = Vec::with_capacity(
-        events.len() + series.iter().map(|s| s.points.len()).sum::<usize>() + 1,
-    );
+    let mut entries: Vec<String> =
+        Vec::with_capacity(events.len() + series.iter().map(|s| s.points.len()).sum::<usize>() + 1);
     entries.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
          \"args\":{\"name\":\"lelantus-sim\"}}"
@@ -79,10 +78,8 @@ mod tests {
                 kind: EventKind::RedirectedRead { addr: 4096, hops: 1 },
             },
         ];
-        let series = [CounterSeries {
-            name: "nvm_writes".into(),
-            points: vec![(1000, 3.0), (2000, 7.0)],
-        }];
+        let series =
+            [CounterSeries { name: "nvm_writes".into(), points: vec![(1000, 3.0), (2000, 7.0)] }];
         let doc = chrome_trace(&events, &series);
         assert!(doc.starts_with("{\"traceEvents\":[\n"), "{doc}");
         assert!(doc.trim_end().ends_with("]}"), "{doc}");

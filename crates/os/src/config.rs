@@ -1,6 +1,5 @@
 //! Kernel configuration.
 
-
 /// Which copy-on-write machinery the kernel drives (paper §V-A's four
 /// compared schemes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,8 +117,6 @@ mod tests {
         assert!(KernelConfig { phys_bytes: (256 << 20) + 4096, ..KernelConfig::default() }
             .validate()
             .is_err());
-        assert!(KernelConfig { mmap_base: 0x1000, ..KernelConfig::default() }
-            .validate()
-            .is_err());
+        assert!(KernelConfig { mmap_base: 0x1000, ..KernelConfig::default() }.validate().is_err());
     }
 }

@@ -482,9 +482,7 @@ impl Kernel {
             }
             (CowStrategy::SilentShredder, true) => {
                 for r in 0..size.regions() {
-                    actions.push(HwAction::PageInitCmd {
-                        dst: new_pa + (r as u64) * REGION_BYTES,
-                    });
+                    actions.push(HwAction::PageInitCmd { dst: new_pa + (r as u64) * REGION_BYTES });
                 }
             }
             (CowStrategy::SilentShredder, false) => {
@@ -588,7 +586,13 @@ impl Kernel {
     /// Unmaps one page mapping and releases the page if this was the
     /// last reference. Returns actions (early reclamation and
     /// `page_free` under Lelantus).
-    fn put_page(&mut self, pid: ProcessId, vma: &Vma, va_base: VirtAddr, pa: PhysAddr) -> Vec<HwAction> {
+    fn put_page(
+        &mut self,
+        pid: ProcessId,
+        vma: &Vma,
+        va_base: VirtAddr,
+        pa: PhysAddr,
+    ) -> Vec<HwAction> {
         if self.is_zero_page(pa) {
             self.pages.dec_map(self.zero_page_2m);
             return Vec::new();
@@ -625,7 +629,11 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails if the process or mapping does not exist.
-    pub fn munmap(&mut self, pid: ProcessId, vma_start: VirtAddr) -> Result<Vec<HwAction>, OsError> {
+    pub fn munmap(
+        &mut self,
+        pid: ProcessId,
+        vma_start: VirtAddr,
+    ) -> Result<Vec<HwAction>, OsError> {
         let proc = self.processes.get_mut(&pid).ok_or(OsError::NoSuchProcess(pid))?;
         let vma = proc
             .vmas
@@ -670,7 +678,9 @@ impl Kernel {
             .find(|v| v.contains(va))
             .ok_or(OsError::UnmappedAddress { pid, va })?;
         if va + len > vma.end || !va.is_aligned_to(vma.page_size.bytes()) {
-            return Err(OsError::BadMapping("madvise range must be page-aligned in one VMA".into()));
+            return Err(OsError::BadMapping(
+                "madvise range must be page-aligned in one VMA".into(),
+            ));
         }
         let zero = match vma.page_size {
             PageSize::Regular4K => self.zero_page_4k,
@@ -721,21 +731,17 @@ impl Kernel {
             vma.writable = writable;
             *vma
         };
-        let mappings: Vec<(VirtAddr, Pte)> = self
-            .process(pid)?
-            .page_table
-            .iter()
-            .filter(|(va, _)| vma.contains(*va))
-            .collect();
+        let mappings: Vec<(VirtAddr, Pte)> =
+            self.process(pid)?.page_table.iter().filter(|(va, _)| vma.contains(*va)).collect();
         for (va, pte) in mappings {
             let allow = writable
                 && !self.is_zero_page(pte.pa)
-                && self.pages.get(pte.pa).map(|i| i.map_count == 1 && !i.cow_protected).unwrap_or(false);
-            self.processes
-                .get_mut(&pid)
-                .expect("checked")
-                .page_table
-                .set_writable(va, allow);
+                && self
+                    .pages
+                    .get(pte.pa)
+                    .map(|i| i.map_count == 1 && !i.cow_protected)
+                    .unwrap_or(false);
+            self.processes.get_mut(&pid).expect("checked").page_table.set_writable(va, allow);
         }
         Ok(())
     }
@@ -791,10 +797,7 @@ impl Kernel {
     ) -> Result<Vec<HwAction>, OsError> {
         let (va_base, pte, vma) = {
             let proc = self.process(pid)?;
-            let t = proc
-                .page_table
-                .translate(va)
-                .ok_or(OsError::UnmappedAddress { pid, va })?;
+            let t = proc.page_table.translate(va).ok_or(OsError::UnmappedAddress { pid, va })?;
             let vma = *proc
                 .vmas
                 .values()
@@ -1058,10 +1061,7 @@ mod syscall_tests {
         let free_before = k.free_bytes();
         let actions = k.munmap(pid, va).unwrap();
         assert_eq!(k.free_bytes(), free_before + 16 * 1024);
-        assert_eq!(
-            actions.iter().filter(|a| matches!(a, HwAction::PageFreeCmd { .. })).count(),
-            4
-        );
+        assert_eq!(actions.iter().filter(|a| matches!(a, HwAction::PageFreeCmd { .. })).count(), 4);
         assert!(k.translate(pid, va).is_none());
         assert!(matches!(
             k.access(pid, va, AccessKind::Read),

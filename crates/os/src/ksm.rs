@@ -96,8 +96,7 @@ mod tests {
             k.access(pid, va + i * 4096, AccessKind::Write).unwrap();
         }
         let free_before = k.free_bytes();
-        let cands: Vec<_> =
-            (0..3u64).map(|i| KsmCandidate { pid, va: va + i * 4096 }).collect();
+        let cands: Vec<_> = (0..3u64).map(|i| KsmCandidate { pid, va: va + i * 4096 }).collect();
         let report = merge_pass(&mut k, &cands, |_| 7).unwrap();
         assert_eq!(report.merged, 2);
         assert_eq!(report.classes, 1);
@@ -118,8 +117,7 @@ mod tests {
         let va = k.mmap_anon(pid, 2 * 4096, PageSize::Regular4K).unwrap();
         k.access(pid, va, AccessKind::Write).unwrap();
         k.access(pid, va + 4096, AccessKind::Write).unwrap();
-        let cands =
-            [KsmCandidate { pid, va }, KsmCandidate { pid, va: va + 4096 }];
+        let cands = [KsmCandidate { pid, va }, KsmCandidate { pid, va: va + 4096 }];
         let report = merge_pass(&mut k, &cands, |pa| pa.as_u64()).unwrap();
         assert_eq!(report.merged, 0);
         assert_eq!(report.classes, 2);

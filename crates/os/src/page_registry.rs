@@ -62,7 +62,14 @@ impl PageRegistry {
     pub fn insert(&mut self, base: PhysAddr, size: PageSize, anon_vma: Option<u64>) {
         let prev = self.pages.insert(
             base.as_u64(),
-            PageInfo { base, size, map_count: 0, cow_protected: false, anon_vma, reuse_deferred: false },
+            PageInfo {
+                base,
+                size,
+                map_count: 0,
+                cow_protected: false,
+                anon_vma,
+                reuse_deferred: false,
+            },
         );
         assert!(prev.is_none(), "page {base} registered twice");
     }

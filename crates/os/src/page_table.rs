@@ -111,7 +111,8 @@ impl PageTable {
     /// sequence, so hash order here would make simulated cycle counts
     /// differ between identically-configured runs.
     pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, Pte)> + '_ {
-        let mut sorted: Vec<(u64, Pte)> = self.entries.iter().map(|(va, pte)| (*va, *pte)).collect();
+        let mut sorted: Vec<(u64, Pte)> =
+            self.entries.iter().map(|(va, pte)| (*va, *pte)).collect();
         sorted.sort_unstable_by_key(|(va, _)| *va);
         sorted.into_iter().map(|(va, pte)| (VirtAddr::new(va), pte))
     }

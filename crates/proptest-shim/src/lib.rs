@@ -44,10 +44,7 @@ impl ProptestConfig {
 
     /// Effective case count, honouring `PROPTEST_CASES`.
     pub fn effective_cases(&self) -> u32 {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(self.cases)
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
     }
 }
 
@@ -142,7 +139,7 @@ impl_tuple_strategy!(A, B, C, D, E);
 
 /// `prop::collection` equivalents.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng as _;
 
     /// Strategy for variable-length vectors.
@@ -167,7 +164,7 @@ pub mod collection {
 
 /// `prop::array` equivalents.
 pub mod array {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
 
     /// Strategy for `[T; 32]`.
     pub struct Uniform32<S>(S);

@@ -104,6 +104,18 @@ impl SimConfig {
         self
     }
 
+    /// Runs the controller's metadata path in its slow reference shape:
+    /// bit-by-bit counter-block codec, eager per-write Merkle
+    /// maintenance, no MAC write combining. Functionally identical to
+    /// the fast path; exists for the equivalence tests that prove the
+    /// metadata fast path changes nothing observable.
+    pub fn with_reference_metadata(mut self) -> Self {
+        self.controller.use_reference_codec = true;
+        self.controller.use_eager_merkle = true;
+        self.controller.mac_write_combining = false;
+        self
+    }
+
     /// Shrinks physical memory (faster tests).
     pub fn with_phys_bytes(mut self, bytes: u64) -> Self {
         self.kernel.phys_bytes = bytes;

@@ -1,12 +1,12 @@
 //! End-to-end metrics snapshot.
 
+use crate::tlb::TlbStats;
 use lelantus_cache::HierarchyStats;
 use lelantus_core::ControllerStats;
 use lelantus_metadata::counter_cache::CounterCacheStats;
 use lelantus_metadata::cow_meta::CowCacheStats;
 use lelantus_nvm::NvmStats;
 use lelantus_os::kernel::KernelStats;
-use crate::tlb::TlbStats;
 use lelantus_types::Cycles;
 
 /// Everything the experiment harnesses need, in one snapshot.

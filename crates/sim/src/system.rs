@@ -99,9 +99,15 @@ impl<P: Probe> System<P> {
         if now < self.epoch_next {
             return;
         }
+        // Epoch boundaries are a metadata flush point: coalesced
+        // Merkle maintenance and combined MAC updates land here
+        // (host-side only; the snapshot below is unaffected).
+        self.ctrl.flush_metadata();
         let snap = self.metrics();
-        self.epoch_samples
-            .push(EpochSample { end_cycle: snap.cycles, delta: snap.delta_since(&self.epoch_last) });
+        self.epoch_samples.push(EpochSample {
+            end_cycle: snap.cycles,
+            delta: snap.delta_since(&self.epoch_last),
+        });
         self.epoch_last = snap;
         self.epoch_next = (now / interval + 1) * interval;
     }
@@ -151,6 +157,13 @@ impl<P: Probe> System<P> {
     /// Controller handle (read-only).
     pub fn controller(&self) -> &SecureMemoryController<P> {
         &self.ctrl
+    }
+
+    /// The controller's current Merkle root over the counter blocks,
+    /// flushing deferred maintenance first (equivalence-test
+    /// observability).
+    pub fn merkle_root(&mut self) -> u64 {
+        self.ctrl.merkle_root()
     }
 
     /// Creates the initial process.
@@ -351,11 +364,9 @@ impl<P: Probe> System<P> {
             if P::ENABLED {
                 let end = self.clocks[self.active];
                 let kind = match fault {
-                    FaultKind::CowCopy { from_zero, .. } => EventKind::CowFault {
-                        pid,
-                        va: va.as_u64(),
-                        from_zero: *from_zero,
-                    },
+                    FaultKind::CowCopy { from_zero, .. } => {
+                        EventKind::CowFault { pid, va: va.as_u64(), from_zero: *from_zero }
+                    }
                     FaultKind::WpReuse => {
                         EventKind::ReuseFault { pid, va: va.as_u64(), early_reclaim: false }
                     }
@@ -407,7 +418,12 @@ impl<P: Probe> System<P> {
     /// # Errors
     ///
     /// Propagates kernel errors (unmapped address, OOM...).
-    pub fn write_bytes(&mut self, pid: ProcessId, va: VirtAddr, bytes: &[u8]) -> Result<(), OsError> {
+    pub fn write_bytes(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        bytes: &[u8],
+    ) -> Result<(), OsError> {
         let mut offset = 0usize;
         while offset < bytes.len() {
             let cur = va + offset as u64;
@@ -465,7 +481,12 @@ impl<P: Probe> System<P> {
     /// # Errors
     ///
     /// Propagates kernel errors.
-    pub fn read_bytes(&mut self, pid: ProcessId, va: VirtAddr, len: usize) -> Result<Vec<u8>, OsError> {
+    pub fn read_bytes(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        len: usize,
+    ) -> Result<Vec<u8>, OsError> {
         let mut out = Vec::with_capacity(len);
         let mut offset = 0usize;
         while offset < len {
@@ -510,10 +531,7 @@ impl<P: Probe> System<P> {
     /// # Errors
     ///
     /// Propagates kernel errors.
-    pub fn ksm_merge(
-        &mut self,
-        candidates: &[(ProcessId, VirtAddr)],
-    ) -> Result<usize, OsError> {
+    pub fn ksm_merge(&mut self, candidates: &[(ProcessId, VirtAddr)]) -> Result<usize, OsError> {
         let cands: Vec<KsmCandidate> =
             candidates.iter().map(|(pid, va)| KsmCandidate { pid: *pid, va: *va }).collect();
         let page_bytes = self.config.page_size.bytes();
@@ -550,14 +568,17 @@ impl<P: Probe> System<P> {
     /// lelantus_core::SecureMemoryController::crash_and_recover
     pub fn crash_and_recover(
         &mut self,
-    ) -> Result<lelantus_core::controller::RecoveryReport, lelantus_crypto::TamperError>
-    {
+    ) -> Result<lelantus_core::controller::RecoveryReport, lelantus_crypto::TamperError> {
         self.caches.clear_all();
         self.tlb.flush_all();
         // Power-up costs: charge a fixed reboot window per verified
         // region (sequential counter scan at row-hit speed).
         let report = self.ctrl.crash_and_recover()?;
         self.clocks[self.active] += Cycles::new(report.regions_verified * 15 + 10_000);
+        // Volatile metadata caches restarted from zero, so interval
+        // deltas across the crash would underflow; re-baseline the
+        // epoch sampler at the recovery point.
+        self.epoch_last = self.metrics();
         Ok(report)
     }
 
@@ -688,10 +709,7 @@ mod tests {
         };
         let base = run(CowStrategy::Baseline);
         let lel = run(CowStrategy::Lelantus);
-        assert!(
-            lel * 2 < base,
-            "lelantus writes ({lel}) must be well under baseline ({base})"
-        );
+        assert!(lel * 2 < base, "lelantus writes ({lel}) must be well under baseline ({base})");
     }
 
     #[test]
@@ -746,9 +764,7 @@ mod tlb_integration_tests {
     use lelantus_os::CowStrategy;
 
     fn sys(page: PageSize) -> System {
-        System::new(
-            SimConfig::new(CowStrategy::Lelantus, page).with_phys_bytes(64 << 20),
-        )
+        System::new(SimConfig::new(CowStrategy::Lelantus, page).with_phys_bytes(64 << 20))
     }
 
     #[test]
@@ -780,10 +796,7 @@ mod tlb_integration_tests {
         };
         let w4k = walks(PageSize::Regular4K);
         let w2m = walks(PageSize::Huge2M);
-        assert!(
-            w2m * 10 < w4k,
-            "2MB mappings must slash TLB walks: {w2m} vs {w4k}"
-        );
+        assert!(w2m * 10 < w4k, "2MB mappings must slash TLB walks: {w2m} vs {w4k}");
     }
 
     #[test]
@@ -841,8 +854,7 @@ mod syscall_integration_tests {
     #[test]
     fn madvise_dontneed_zeroes_through_full_stack() {
         let mut s = System::new(
-            SimConfig::new(CowStrategy::LelantusCow, PageSize::Regular4K)
-                .with_phys_bytes(64 << 20),
+            SimConfig::new(CowStrategy::LelantusCow, PageSize::Regular4K).with_phys_bytes(64 << 20),
         );
         let pid = s.spawn_init();
         let va = s.mmap(pid, 8192).unwrap();
@@ -928,10 +940,7 @@ mod multicore_tests {
         };
         let one = run(1);
         let two = run(2);
-        assert!(
-            (two as f64) < one as f64 * 0.75,
-            "two cores must overlap: {two} vs {one}"
-        );
+        assert!((two as f64) < one as f64 * 0.75, "two cores must overlap: {two} vs {one}");
     }
 
     #[test]

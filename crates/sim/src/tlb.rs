@@ -32,7 +32,13 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> Self {
-        Self { l1_entries_4k: 64, l1_entries_2m: 32, l2_entries: 1536, l2_latency: 8, walk_cycles: 100 }
+        Self {
+            l1_entries_4k: 64,
+            l1_entries_2m: 32,
+            l2_entries: 1536,
+            l2_latency: 8,
+            walk_cycles: 100,
+        }
     }
 }
 
@@ -351,7 +357,8 @@ mod tests {
 
     #[test]
     fn l1_capacity_spills_to_l2() {
-        let mut t = Tlb::new(TlbConfig { l1_entries_4k: 2, l2_entries: 64, ..TlbConfig::default() });
+        let mut t =
+            Tlb::new(TlbConfig { l1_entries_4k: 2, l2_entries: 64, ..TlbConfig::default() });
         for i in 0..4u64 {
             t.fill(1, VirtAddr::new(i * 4096), entry(i * 4096, PageSize::Regular4K, true));
         }

@@ -36,7 +36,12 @@ impl Default for Boot {
 impl Boot {
     /// A reduced-scale instance for tests.
     pub fn small() -> Self {
-        Self { services: 8, shared_bytes: 512 << 10, service_heap_bytes: 64 << 10, ..Self::default() }
+        Self {
+            services: 8,
+            shared_bytes: 512 << 10,
+            service_heap_bytes: 64 << 10,
+            ..Self::default()
+        }
     }
 }
 

@@ -87,8 +87,7 @@ mod tests {
     use lelantus_types::PageSize;
 
     fn run(strategy: CowStrategy, page: PageSize) -> WorkloadRun {
-        let mut sys =
-            System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
+        let mut sys = System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
         // At least two huge pages of work regardless of page size.
         let wl = match page {
             PageSize::Regular4K => Forkbench::small(),

@@ -30,8 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.finish();
         let delta = sys.metrics().delta_since(&before);
 
-        println!("{strategy:>12}: first write took {:>6} cycles, {:>3} NVM line writes",
-            delta.cycles.as_u64(), delta.nvm.line_writes);
+        println!(
+            "{strategy:>12}: first write took {:>6} cycles, {:>3} NVM line writes",
+            delta.cycles.as_u64(),
+            delta.nvm.line_writes
+        );
 
         // Semantics are identical either way: the child still sees the
         // pre-fork data, the parent sees its own write.

@@ -20,8 +20,8 @@ use lelantus::sim::{
 };
 use lelantus::types::PageSize;
 use lelantus::workloads::{
-    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, hotspot::Hotspot,
-    mariadbwl::Mariadb, noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
+    bootwl::Boot, compilewl::Compile, forkbench::Forkbench, hotspot::Hotspot, mariadbwl::Mariadb,
+    noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -277,7 +277,10 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     // Epoch counter tracks: the attribution time series both the
     // chrome trace and the JSON report carry.
     let series: Vec<CounterSeries> = [
-        ("nvm_line_writes", Box::new(|d: &SimMetrics| d.nvm.line_writes) as Box<dyn Fn(&SimMetrics) -> u64>),
+        (
+            "nvm_line_writes",
+            Box::new(|d: &SimMetrics| d.nvm.line_writes) as Box<dyn Fn(&SimMetrics) -> u64>,
+        ),
         ("cow_faults", Box::new(|d: &SimMetrics| d.kernel.cow_faults)),
         ("redirected_reads", Box::new(|d: &SimMetrics| d.controller.redirected_reads)),
         ("counter_fetches", Box::new(|d: &SimMetrics| d.controller.counter_fetches)),
@@ -285,10 +288,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     .into_iter()
     .map(|(name, get)| CounterSeries {
         name: format!("{name}_per_epoch"),
-        points: epochs
-            .iter()
-            .map(|e| (e.end_cycle.as_u64(), get(&e.delta) as f64))
-            .collect(),
+        points: epochs.iter().map(|e| (e.end_cycle.as_u64(), get(&e.delta) as f64)).collect(),
     })
     .collect();
 
@@ -375,7 +375,11 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     if !epochs.is_empty() {
         const SHOWN: usize = 12;
         println!();
-        println!("epochs: {} of {epoch} cycles (showing first {})", epochs.len(), SHOWN.min(epochs.len()));
+        println!(
+            "epochs: {} of {epoch} cycles (showing first {})",
+            epochs.len(),
+            SHOWN.min(epochs.len())
+        );
         println!(
             "  {:>14}  {:>10}  {:>10}  {:>12}  {:>12}",
             "end_cycle", "nvm_wr", "cow_faults", "redir_reads", "ctr_fetches"

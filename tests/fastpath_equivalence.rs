@@ -166,12 +166,8 @@ fn run_scenario(config: SimConfig) -> (String, Vec<[u8; LINE_BYTES]>) {
 fn simulator_is_bit_identical_under_reference_aes() {
     for strategy in CowStrategy::all() {
         let fast = run_scenario(SimConfig::new(strategy, PageSize::Regular4K));
-        let slow =
-            run_scenario(SimConfig::new(strategy, PageSize::Regular4K).with_reference_aes());
-        assert_eq!(
-            fast.0, slow.0,
-            "metrics diverged between AES backends under {strategy}"
-        );
+        let slow = run_scenario(SimConfig::new(strategy, PageSize::Regular4K).with_reference_aes());
+        assert_eq!(fast.0, slow.0, "metrics diverged between AES backends under {strategy}");
         assert_eq!(
             fast.1, slow.1,
             "raw NVM ciphertexts diverged between AES backends under {strategy}"

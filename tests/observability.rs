@@ -59,10 +59,7 @@ fn recording_probe_changes_nothing_for_any_strategy() {
         let untraced = drive(&mut System::new(config(strategy)));
         let ring = big_ring();
         let traced = drive(&mut System::with_probe(config(strategy), ring.clone()));
-        assert_eq!(
-            untraced, traced,
-            "{strategy}: attaching a probe perturbed the simulation"
-        );
+        assert_eq!(untraced, traced, "{strategy}: attaching a probe perturbed the simulation");
         assert!(ring.total() > 0, "{strategy}: traced run emitted nothing");
     }
 }

@@ -69,10 +69,7 @@ fn fig11_shape_speedup_decays_with_update_size_and_has_a_knee() {
     }
     // Monotone non-increasing (allowing tiny noise).
     for w in speedups.windows(2) {
-        assert!(
-            w[1].1 <= w[0].1 * 1.1,
-            "speedup should decay with update size: {speedups:?}"
-        );
+        assert!(w[1].1 <= w[0].1 * 1.1, "speedup should decay with update size: {speedups:?}");
     }
     let first = speedups[0].1;
     let last = speedups.last().unwrap().1;
@@ -144,8 +141,7 @@ fn fork_first_write_latency_shape() {
     // Fig 11's headline: the first-write latency gap is the product.
     for page in PageSize::all() {
         let first_write_cost = |strategy| {
-            let mut sys =
-                System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
+            let mut sys = System::new(SimConfig::new(strategy, page).with_phys_bytes(64 << 20));
             let pid = sys.spawn_init();
             let va = sys.mmap(pid, page.bytes()).unwrap();
             sys.write_pattern(pid, va, page.bytes() as usize, 5).unwrap();
