@@ -8,12 +8,16 @@
 //! every line is written anyway and the lazy copy saves only the
 //! read-side, converging toward ~1.1x.
 //!
-//! The sweep's (point × scheme) simulations run in parallel via
-//! `run_cells`.
+//! The unmeasured warm-up (initialize + fork) is identical for every
+//! sweep point of a scheme, so it runs once per scheme and every point
+//! forks the measured phase from a [`Snapshot`] of the warm state
+//! instead of replaying it. Warm-ups and forked measures are both
+//! scheduled across cores via `run_cells`.
 
 use lelantus_bench::results::{timed_emit, Record};
-use lelantus_bench::{fmt_pct, fmt_x, print_table, run_cells, run_workload, Scale};
+use lelantus_bench::{fmt_pct, fmt_x, print_table, run_cells, sim_config, Scale};
 use lelantus_os::CowStrategy;
+use lelantus_sim::System;
 use lelantus_types::PageSize;
 use lelantus_workloads::forkbench::Forkbench;
 
@@ -33,13 +37,21 @@ fn main() {
         let strategies = [CowStrategy::Baseline, CowStrategy::Lelantus, CowStrategy::LelantusCow];
         for page in [PageSize::Regular4K, PageSize::Huge2M] {
             let points = sweep_points(page);
+            let total_bytes = scale.alloc_bytes().max(page.bytes() * 2);
+            // One warm-up per scheme: the setup phase does not depend
+            // on `bytes_per_page`, so its snapshot seeds every point.
+            let warm = run_cells(strategies.len(), |strat_i| {
+                let wl = Forkbench { total_bytes, bytes_per_page: None };
+                let mut sys = System::new(sim_config(strategies[strat_i], page));
+                let state = wl.setup(&mut sys).expect("forkbench setup");
+                (sys.snapshot(), state)
+            });
             let runs = run_cells(points.len() * strategies.len(), |i| {
                 let (point_i, strat_i) = (i / strategies.len(), i % strategies.len());
-                let wl = Forkbench {
-                    total_bytes: scale.alloc_bytes().max(page.bytes() * 2),
-                    bytes_per_page: Some(points[point_i]),
-                };
-                run_workload(&wl, strategies[strat_i], page)
+                let (snapshot, state) = &warm[strat_i];
+                let wl = Forkbench { total_bytes, bytes_per_page: Some(points[point_i]) };
+                let mut sys = snapshot.fork();
+                wl.measure(&mut sys, state).expect("forkbench measure")
             });
             let mut rows = Vec::new();
             for (point_i, bytes) in points.iter().enumerate() {

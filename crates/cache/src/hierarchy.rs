@@ -22,7 +22,7 @@ pub trait LineBackend {
 /// cascade downward (L1→L2→L3→backend). Explicit flush/invalidate
 /// ranges model the `clflush`-style maintenance the OS performs around
 /// Lelantus CoW commands (paper §IV-B).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     l1: SetAssocCache,
     l2: SetAssocCache,
@@ -155,6 +155,18 @@ impl CacheHierarchy {
         assert!(offset + len <= LINE_BYTES, "load crosses line boundary");
         let (data, done) = self.fill(addr, now, backend);
         (data[offset..offset + len].to_vec(), done)
+    }
+
+    /// Loads the full line containing `addr` without allocating: the
+    /// batched access driver's read primitive. Timing, stats, and
+    /// residency effects are exactly those of [`CacheHierarchy::load`].
+    pub fn load_line(
+        &mut self,
+        addr: PhysAddr,
+        now: Cycles,
+        backend: &mut dyn LineBackend,
+    ) -> ([u8; LINE_BYTES], Cycles) {
+        self.fill(addr, now, backend)
     }
 
     /// Stores `bytes` at `addr` (write-allocate, write-back), returning

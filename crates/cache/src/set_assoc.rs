@@ -39,7 +39,7 @@ struct Way {
 /// c.insert(PhysAddr::new(0x40), [5; 64], false);
 /// assert_eq!(c.lookup(PhysAddr::new(0x40)).unwrap()[0], 5);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
     sets: Vec<Vec<Way>>,

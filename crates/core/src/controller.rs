@@ -54,7 +54,7 @@ pub struct RecoveryReport {
 /// The secure NVM memory controller.
 ///
 /// See the crate-level docs for an overview and example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SecureMemoryController<P: Probe = NullProbe> {
     config: ControllerConfig,
     nvm: NvmDevice<P>,

@@ -125,7 +125,7 @@ pub struct EvictedCounter {
 /// assert!(cc.get(5).is_some());
 /// assert!(cc.get(6).is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CounterCache {
     config: CounterCacheConfig,
     sets: Vec<Vec<Entry>>,

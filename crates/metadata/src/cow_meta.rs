@@ -124,7 +124,7 @@ impl CowCacheStats {
 /// 4096 entries model the paper's 32 KB reservation (8 B each).
 /// Entries cache *both* positive and negative results — "this region
 /// has no source" is as useful as the source itself.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CowCache {
     entries: HashMap<u64, (Option<u64>, u64)>,
     capacity: usize,

@@ -63,7 +63,7 @@ pub struct EvictedMacLine {
 /// cache.fill(7, [1, 2, 3, 4, 5, 6, 7, 8], false);
 /// assert_eq!(cache.get(7).unwrap()[2], 3);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MacCache {
     entries: HashMap<u64, (MacLine, bool, u64)>,
     /// Reverse index lru-tick -> line index for O(log n) eviction.

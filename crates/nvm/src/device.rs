@@ -28,7 +28,7 @@ use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
 /// let (data, _done) = dev.read_line(a, ack);
 /// assert_eq!(data, [1; 64]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NvmDevice<P: Probe = NullProbe> {
     config: NvmConfig,
     banks: Vec<Bank>,

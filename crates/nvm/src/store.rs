@@ -42,7 +42,7 @@ impl Frame {
 }
 
 /// Sparse store of 64-byte lines keyed by line-aligned byte address.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LineStore {
     /// Frames indexed by `addr / 4096`, grown lazily.
     frames: Vec<Option<Box<Frame>>>,

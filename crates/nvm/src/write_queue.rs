@@ -49,7 +49,7 @@ pub struct WriteQueueStats {
 /// assert_eq!(q.len(), 1);
 /// assert_eq!(q.forward(PhysAddr::new(0x40)), Some([2; 64]));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WriteQueue {
     entries: VecDeque<PendingWrite>,
     capacity: usize,

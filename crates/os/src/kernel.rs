@@ -180,7 +180,7 @@ impl KernelStats {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Process {
     page_table: PageTable,
     vmas: BTreeMap<u64, Vma>,
@@ -189,7 +189,7 @@ struct Process {
 /// The simulated kernel.
 ///
 /// See the crate docs for an end-to-end example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Kernel {
     config: KernelConfig,
     buddy: BuddyAllocator,

@@ -1,0 +1,134 @@
+//! Batched access descriptions for [`System::run_batch`].
+//!
+//! Workload generators describe whole runs of line-granularity
+//! accesses up front instead of calling `read_bytes`/`write_bytes`
+//! once per line. The batch is a flat op list plus one shared payload
+//! arena, so building and replaying it allocates nothing per access;
+//! [`System::run_batch`] then translates once per page *run* rather
+//! than once per line. Cycle charges and simulated state are identical
+//! either way — the batch only changes host-side work.
+//!
+//! [`System::run_batch`]: crate::System::run_batch
+//! [`System`]: crate::System
+
+use lelantus_types::VirtAddr;
+
+/// One queued operation (crate-visible for the driver).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchOp {
+    /// Start virtual address.
+    pub va: VirtAddr,
+    /// Length in bytes (may span many lines; the driver splits).
+    pub len: u32,
+    /// Read, explicit-data write, or pattern write.
+    pub kind: OpKind,
+}
+
+/// What a [`BatchOp`] does.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpKind {
+    /// Load `len` bytes (data discarded; timing and residency only).
+    Read,
+    /// Store `len` bytes starting at `data_off` in the batch arena.
+    Write {
+        /// Offset of the payload within [`AccessBatch::data`].
+        data_off: u32,
+    },
+    /// Store `len` bytes of the repeated byte `tag`.
+    Pattern {
+        /// The fill byte.
+        tag: u8,
+    },
+}
+
+/// A reusable queue of memory accesses for one process.
+///
+/// Push ops in program order, hand the batch to
+/// [`System::run_batch`], then [`AccessBatch::clear`] and refill —
+/// the backing allocations persist across uses.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_sim::AccessBatch;
+/// use lelantus_types::VirtAddr;
+///
+/// let mut batch = AccessBatch::new();
+/// batch.push_write(VirtAddr::new(0x1000), b"hello");
+/// batch.push_read(VirtAddr::new(0x1000), 5);
+/// assert_eq!(batch.len(), 2);
+/// batch.clear();
+/// assert!(batch.is_empty());
+/// ```
+///
+/// [`System::run_batch`]: crate::System::run_batch
+#[derive(Debug, Clone, Default)]
+pub struct AccessBatch {
+    pub(crate) ops: Vec<BatchOp>,
+    /// Payload arena for explicit-data writes.
+    pub(crate) data: Vec<u8>,
+}
+
+impl AccessBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all queued ops, keeping capacity.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.data.clear();
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Queues a read of `len` bytes at `va`.
+    pub fn push_read(&mut self, va: VirtAddr, len: usize) {
+        self.ops.push(BatchOp { va, len: len as u32, kind: OpKind::Read });
+    }
+
+    /// Queues a write of `bytes` at `va`.
+    pub fn push_write(&mut self, va: VirtAddr, bytes: &[u8]) {
+        let data_off = self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        self.ops.push(BatchOp { va, len: bytes.len() as u32, kind: OpKind::Write { data_off } });
+    }
+
+    /// Queues a write of `len` repeated `tag` bytes at `va`
+    /// (the batched form of `System::write_pattern`).
+    pub fn push_pattern(&mut self, va: VirtAddr, len: usize, tag: u8) {
+        self.ops.push(BatchOp { va, len: len as u32, kind: OpKind::Pattern { tag } });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_offsets_track_pushes() {
+        let mut b = AccessBatch::new();
+        b.push_write(VirtAddr::new(0), &[1, 2, 3]);
+        b.push_write(VirtAddr::new(64), &[4, 5]);
+        b.push_pattern(VirtAddr::new(128), 4096, 0xAA);
+        b.push_read(VirtAddr::new(0), 8);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.data, vec![1, 2, 3, 4, 5]);
+        match b.ops[1].kind {
+            OpKind::Write { data_off } => assert_eq!(data_off, 3),
+            _ => panic!("expected write"),
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.data.is_empty());
+    }
+}

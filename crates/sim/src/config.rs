@@ -43,6 +43,12 @@ pub struct SimConfig {
     /// series (see `System::epochs`). 0 (the default) disables
     /// sampling entirely.
     pub epoch_interval: u64,
+    /// Forces `System::run_batch` to replay each batched op through the
+    /// exact per-line access path (`read_bytes`/`write_bytes`/
+    /// `write_pattern`) instead of the run-cached fast path. The two
+    /// are functionally identical; this exists for the equivalence
+    /// tests that prove it.
+    pub reference_access_path: bool,
 }
 
 /// Maps the kernel-side strategy onto the controller-side scheme.
@@ -70,6 +76,7 @@ impl SimConfig {
             op_cost: 1,
             tlb: TlbConfig::default(),
             epoch_interval: 0,
+            reference_access_path: false,
         }
     }
 
@@ -113,6 +120,15 @@ impl SimConfig {
         self.controller.use_reference_codec = true;
         self.controller.use_eager_merkle = true;
         self.controller.mac_write_combining = false;
+        self
+    }
+
+    /// Routes `System::run_batch` through the per-line reference access
+    /// path. Functionally identical to the batched fast path; exists
+    /// for the equivalence tests that prove the run-caching changes
+    /// nothing observable.
+    pub fn with_reference_access_path(mut self) -> Self {
+        self.reference_access_path = true;
         self
     }
 

@@ -40,14 +40,16 @@
 //! # Ok::<(), lelantus_os::OsError>(())
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod metrics;
 pub mod system;
 pub mod tlb;
 
+pub use batch::AccessBatch;
 pub use config::SimConfig;
 pub use metrics::{EpochSample, SimMetrics};
-pub use system::System;
+pub use system::{Snapshot, System};
 
 // Re-export the observability surface so downstream crates (workloads,
 // benches, the CLI) can name probes without depending on lelantus-obs

@@ -1,5 +1,6 @@
 //! The [`System`]: one simulated machine.
 
+use crate::batch::{AccessBatch, OpKind};
 use crate::config::SimConfig;
 use crate::metrics::{EpochSample, SimMetrics};
 use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
@@ -18,7 +19,10 @@ use std::hash::{Hash, Hasher};
 /// All methods advance the machine's clock; [`System::metrics`] gives
 /// a consistent snapshot at any point. Call [`System::finish`] before
 /// final measurements so buffered writes reach the NVM array.
-#[derive(Debug)]
+///
+/// The whole stack is plain owned data, so `Clone` captures the entire
+/// machine state — that is what [`System::snapshot`] builds on.
+#[derive(Debug, Clone)]
 pub struct System<P: Probe = NullProbe> {
     config: SimConfig,
     kernel: Kernel,
@@ -524,6 +528,122 @@ impl<P: Probe> System<P> {
         Ok(())
     }
 
+    /// Executes a queued [`AccessBatch`] in program order.
+    ///
+    /// The batched driver performs one TLB/translation probe per *run*
+    /// of same-page accesses instead of one per line: a one-entry run
+    /// cache mirrors the TLB's last-translation front cache, so every
+    /// access the front cache would have served is answered from the
+    /// run cache without re-entering the translation machinery (counted
+    /// via [`Tlb::record_front_hit`], so TLB rates stay honest). Any
+    /// access the run cache cannot serve — first touch of a page, or a
+    /// write to a page cached read-only (a fault boundary) — splits the
+    /// run and falls back to the exact per-line path, then resumes
+    /// batching. The per-line cycle sequence, fault handling, probe
+    /// events, and all statistics are identical to issuing the same
+    /// ops through `read_bytes`/`write_bytes`/`write_pattern`;
+    /// `SimConfig::with_reference_access_path` keeps that per-line
+    /// path selectable and `tests/access_fastpath.rs` proves the
+    /// equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (unmapped address, OOM...).
+    pub fn run_batch(&mut self, pid: ProcessId, batch: &AccessBatch) -> Result<(), OsError> {
+        if self.config.reference_access_path {
+            return self.run_batch_reference(pid, batch);
+        }
+        // The current run's translation: `(page va base, pa base,
+        // page bytes, writable)`. Invariant: when `Some`, it equals the
+        // TLB front cache entry (both are "the most recent successful
+        // translation"), so serving from it is exactly a front-cache
+        // hit. Batches contain no syscalls, so no fork/munmap/exit can
+        // invalidate it mid-batch; faults replace it through
+        // `translate_timed` just like they replace the front cache.
+        let mut run: Option<(u64, PhysAddr, u64, bool)> = None;
+        // Scratch line for pattern stores, refilled only on tag change.
+        let mut tag_line = [0u8; LINE_BYTES];
+        let mut tag_cur = 0u8;
+        for op in &batch.ops {
+            let len = op.len as usize;
+            let mut offset = 0usize;
+            while offset < len {
+                let cur = op.va + offset as u64;
+                let room = LINE_BYTES - cur.line_offset();
+                let take = room.min(len - offset);
+                let is_write = !matches!(op.kind, OpKind::Read);
+                self.clocks[self.active] += Cycles::new(self.config.op_cost);
+                let pa = match run {
+                    Some((va_base, pa_base, page_bytes, writable))
+                        if cur.as_u64().wrapping_sub(va_base) < page_bytes
+                            && (!is_write || writable) =>
+                    {
+                        // Front-cache hit (charge 0), answered locally.
+                        self.tlb.record_front_hit();
+                        pa_base + (cur.as_u64() - va_base)
+                    }
+                    _ => {
+                        // Run boundary: first touch, page change, or
+                        // write-permission upgrade (fault). Take the
+                        // exact per-line translation path.
+                        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                        let pa = self.translate_timed(pid, cur, kind)?;
+                        run = self.kernel.pte_info(pid, cur).map(|(pa_base, size, writable)| {
+                            let bytes = size.bytes();
+                            (cur.as_u64() & !(bytes - 1), pa_base, bytes, writable)
+                        });
+                        pa
+                    }
+                };
+                let now = self.clocks[self.active];
+                match op.kind {
+                    OpKind::Read => {
+                        let (_, done) = self.caches.load_line(pa, now, &mut self.ctrl);
+                        self.clocks[self.active] = done;
+                    }
+                    OpKind::Write { data_off } => {
+                        let start = data_off as usize + offset;
+                        let bytes = &batch.data[start..start + take];
+                        let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
+                        self.clocks[self.active] = done;
+                    }
+                    OpKind::Pattern { tag } => {
+                        if tag != tag_cur {
+                            tag_line = [tag; LINE_BYTES];
+                            tag_cur = tag;
+                        }
+                        let done = self.caches.store(pa, &tag_line[..take], now, &mut self.ctrl);
+                        self.clocks[self.active] = done;
+                    }
+                }
+                self.epoch_tick();
+                offset += take;
+            }
+        }
+        Ok(())
+    }
+
+    /// The reference shape of [`System::run_batch`]: replays each op
+    /// through the unmodified per-line access path.
+    fn run_batch_reference(&mut self, pid: ProcessId, batch: &AccessBatch) -> Result<(), OsError> {
+        for op in &batch.ops {
+            let len = op.len as usize;
+            match op.kind {
+                OpKind::Read => {
+                    self.read_bytes(pid, op.va, len)?;
+                }
+                OpKind::Write { data_off } => {
+                    let start = data_off as usize;
+                    self.write_bytes(pid, op.va, &batch.data[start..start + len])?;
+                }
+                OpKind::Pattern { tag } => {
+                    self.write_pattern(pid, op.va, len, tag)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs one KSM merge pass over page candidates, fingerprinting
     /// real page contents through the secure datapath (the scan itself
     /// is memory traffic, as in a real kernel thread).
@@ -545,7 +665,7 @@ impl<P: Probe> System<P> {
             }
             h.finish()
         })?;
-        self.execute_actions(&report.actions.clone());
+        self.execute_actions(&report.actions);
         // Merging rewrites PTEs across processes: full shootdown.
         self.tlb.flush_all();
         self.clocks[self.active] += Cycles::new(self.config.fault_cost);
@@ -626,7 +746,74 @@ impl<P: Probe> System<P> {
         }
         m
     }
+
+    /// Captures the complete machine state — kernel, caches,
+    /// controller, TLB, per-core clocks, epoch sampler — as an
+    /// immutable snapshot that any number of runs can later be forked
+    /// from (see [`Snapshot::fork`]).
+    ///
+    /// Sweeps that share an expensive warm-up (e.g. the Fig 11
+    /// fork-size sweep) take one snapshot after the warm-up and fork
+    /// every sweep point from it instead of replaying the warm-up per
+    /// point.
+    pub fn snapshot(&self) -> Snapshot<P> {
+        Snapshot { state: self.clone() }
+    }
+
+    /// Rewinds this system to `snapshot`'s state. Equivalent to
+    /// replacing it with [`Snapshot::fork`]; exists for callers that
+    /// hold the `System` in place.
+    pub fn restore(&mut self, snapshot: &Snapshot<P>) {
+        *self = snapshot.state.clone();
+    }
 }
+
+/// A captured [`System`] state, forkable into independent runs.
+///
+/// A snapshot of a `System<NullProbe>` is `Send + Sync`, so one warm
+/// snapshot can be shared by reference across worker threads, each
+/// forking its own private machine.
+///
+/// # Examples
+///
+/// ```
+/// use lelantus_sim::{SimConfig, System};
+/// use lelantus_os::CowStrategy;
+/// use lelantus_types::PageSize;
+///
+/// let mut sys = System::new(SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K));
+/// let pid = sys.spawn_init();
+/// let va = sys.mmap(pid, 4096)?;
+/// sys.write_bytes(pid, va, &[7])?;
+/// let snap = sys.snapshot();
+/// let mut fork = snap.fork();
+/// fork.write_bytes(pid, va, &[8])?; // diverges privately
+/// assert_eq!(sys.read_bytes(pid, va, 1)?, vec![7]);
+/// # Ok::<(), lelantus_os::OsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot<P: Probe = NullProbe> {
+    state: System<P>,
+}
+
+impl<P: Probe> Snapshot<P> {
+    /// A fresh, fully independent `System` starting from the captured
+    /// state. Forks share no mutable state with each other or the
+    /// snapshot (probes with shared interior state, e.g. `RingProbe`,
+    /// keep sharing their event sink by design).
+    pub fn fork(&self) -> System<P> {
+        self.state.clone()
+    }
+}
+
+// The sweep runners hand one snapshot to many worker threads; the
+// whole stack must stay free of interior mutability for that to be
+// sound. Compile-time proof:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<System<NullProbe>>();
+    assert_send_sync::<Snapshot<NullProbe>>();
+};
 
 #[cfg(test)]
 mod tests {

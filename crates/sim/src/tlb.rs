@@ -70,7 +70,8 @@ pub struct TlbEntry {
 /// TLB statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
-    /// L1 hits.
+    /// L1 hits (includes `front_hits`: the last-translation cache sits
+    /// in front of the L1 arrays and is charged identically).
     pub l1_hits: u64,
     /// L2 hits (L1 misses).
     pub l2_hits: u64,
@@ -78,6 +79,9 @@ pub struct TlbStats {
     pub walks: u64,
     /// Entries invalidated by shootdowns.
     pub shootdowns: u64,
+    /// Subset of `l1_hits` served by the one-entry last-translation
+    /// cache without probing the L1/L2 arrays.
+    pub front_hits: u64,
 }
 
 impl TlbStats {
@@ -98,6 +102,7 @@ impl TlbStats {
             l2_hits: self.l2_hits - earlier.l2_hits,
             walks: self.walks - earlier.walks,
             shootdowns: self.shootdowns - earlier.shootdowns,
+            front_hits: self.front_hits - earlier.front_hits,
         }
     }
 }
@@ -124,7 +129,7 @@ struct Key {
 /// One fully-associative LRU level (a HashMap with tick-based LRU; TLB
 /// levels are small enough that associativity conflicts are a
 /// second-order effect next to capacity).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Level {
     entries: HashMap<Key, (TlbEntry, u64)>,
     capacity: usize,
@@ -185,12 +190,17 @@ impl Level {
 /// tlb.fill(1, va, TlbEntry { pa_base: PhysAddr::new(0x20_0000), size: PageSize::Regular4K, writable: true });
 /// assert!(matches!(tlb.lookup(1, va), TlbOutcome::HitL1(_)));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
     l1_4k: Level,
     l1_2m: Level,
     l2: Level,
+    /// One-entry last-translation cache in front of the arrays: the
+    /// `(pid, page base)` of the most recent successful translation.
+    /// Run-shaped access streams (a batch sweeping one page) hit here
+    /// without touching the HashMap levels; charged like an L1 hit.
+    front: Option<(u64, u64, TlbEntry)>,
     stats: TlbStats,
 }
 
@@ -207,6 +217,7 @@ impl Tlb {
             l1_2m: Level::new(config.l1_entries_2m),
             l2: Level::new(config.l2_entries),
             config,
+            front: None,
             stats: TlbStats::default(),
         }
     }
@@ -221,22 +232,40 @@ impl Tlb {
         self.stats
     }
 
-    fn keys_for(pid: u64, va: VirtAddr) -> [Key; 2] {
-        [
-            Key { pid, vpn: va.as_u64() / PageSize::Regular4K.bytes(), size_2m: false },
-            Key { pid, vpn: va.as_u64() / PageSize::Huge2M.bytes(), size_2m: true },
-        ]
+    fn key_4k(pid: u64, va: VirtAddr) -> Key {
+        Key { pid, vpn: va.as_u64() / PageSize::Regular4K.bytes(), size_2m: false }
     }
 
-    /// Looks up the translation of `(pid, va)`.
+    fn key_2m(pid: u64, va: VirtAddr) -> Key {
+        Key { pid, vpn: va.as_u64() / PageSize::Huge2M.bytes(), size_2m: true }
+    }
+
+    fn remember(&mut self, pid: u64, va: VirtAddr, entry: TlbEntry) {
+        let base = va.as_u64() & !(entry.size.bytes() - 1);
+        self.front = Some((pid, base, entry));
+    }
+
+    /// Looks up the translation of `(pid, va)`. The one-entry
+    /// last-translation cache is probed first; each level's key is
+    /// built only when the previous probe missed.
     pub fn lookup(&mut self, pid: u64, va: VirtAddr) -> TlbOutcome {
-        let [k4, k2] = Self::keys_for(pid, va);
+        if let Some((fpid, fbase, e)) = self.front {
+            if fpid == pid && va.as_u64().wrapping_sub(fbase) < e.size.bytes() {
+                self.stats.l1_hits += 1;
+                self.stats.front_hits += 1;
+                return TlbOutcome::HitL1(e);
+            }
+        }
+        let k4 = Self::key_4k(pid, va);
         if let Some(e) = self.l1_4k.get(k4) {
             self.stats.l1_hits += 1;
+            self.remember(pid, va, e);
             return TlbOutcome::HitL1(e);
         }
+        let k2 = Self::key_2m(pid, va);
         if let Some(e) = self.l1_2m.get(k2) {
             self.stats.l1_hits += 1;
+            self.remember(pid, va, e);
             return TlbOutcome::HitL1(e);
         }
         for key in [k4, k2] {
@@ -248,11 +277,21 @@ impl Tlb {
                 } else {
                     self.l1_4k.insert(key, e);
                 }
+                self.remember(pid, va, e);
                 return TlbOutcome::HitL2(e);
             }
         }
         self.stats.walks += 1;
         TlbOutcome::Miss
+    }
+
+    /// Counts a translation served by the front cache on behalf of a
+    /// caller that tracks the current run's page itself (the batched
+    /// access engine). Charged and counted exactly like the front-cache
+    /// hit [`Tlb::lookup`] would report for the same access.
+    pub fn record_front_hit(&mut self) {
+        self.stats.l1_hits += 1;
+        self.stats.front_hits += 1;
     }
 
     /// Installs the result of a page walk.
@@ -267,12 +306,18 @@ impl Tlb {
             PageSize::Huge2M => self.l1_2m.insert(key, entry),
         }
         self.l2.insert(key, entry);
+        self.remember(pid, va, entry);
     }
 
     /// Invalidates the entry covering `(pid, va)` (single-page
     /// shootdown after a PTE change).
     pub fn invalidate_page(&mut self, pid: u64, va: VirtAddr) {
-        for key in Self::keys_for(pid, va) {
+        if let Some((fpid, fbase, e)) = self.front {
+            if fpid == pid && va.as_u64().wrapping_sub(fbase) < e.size.bytes() {
+                self.front = None;
+            }
+        }
+        for key in [Self::key_4k(pid, va), Self::key_2m(pid, va)] {
             let mut removed = false;
             removed |= if key.size_2m { self.l1_2m.remove(key) } else { self.l1_4k.remove(key) };
             removed |= self.l2.remove(key);
@@ -284,6 +329,9 @@ impl Tlb {
 
     /// Invalidates every entry of `pid` (exit / large remap).
     pub fn invalidate_pid(&mut self, pid: u64) {
+        if matches!(self.front, Some((fpid, ..)) if fpid == pid) {
+            self.front = None;
+        }
         let mut n = 0;
         n += self.l1_4k.retain(|k| k.pid != pid);
         n += self.l1_2m.retain(|k| k.pid != pid);
@@ -293,6 +341,7 @@ impl Tlb {
 
     /// Full flush (fork-time write-protection changes every PTE).
     pub fn flush_all(&mut self) {
+        self.front = None;
         let mut n = 0;
         n += self.l1_4k.retain(|_| false);
         n += self.l1_2m.retain(|_| false);

@@ -7,10 +7,10 @@
 //! mostly exit. Roughly half of the memory traffic is
 //! copy/initialization (Table V: 51.96 %).
 
-use crate::common::{init_all_lines, rng, skewed_offset};
+use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
 
@@ -64,28 +64,38 @@ impl<P: Probe> Workload<P> for Boot {
             sys.metrics()
         };
         let mut logical = 0u64;
+        // Reusable batches: one run of init's config reads, then one
+        // run of everything the service does between fork and exit
+        // (batches cannot cross the syscalls).
+        let mut inittab = AccessBatch::new();
+        let mut service_work = AccessBatch::new();
         for service in 0..self.services {
             // init reads its config (inittab walk).
+            inittab.clear();
             for _ in 0..16 {
                 let off = skewed_offset(&mut r, self.shared_bytes);
-                sys.read_bytes(init, shared + off, 32)?;
+                inittab.push_read(shared + off, 32);
             }
+            sys.run_batch(init, &inittab)?;
             let child = sys.fork(init)?;
             // The service initializes its own heap (demand-zero).
             let heap = sys.mmap(child, self.service_heap_bytes)?;
-            logical += init_all_lines(sys, child, heap, self.service_heap_bytes, 0xC0)?;
+            service_work.clear();
+            service_work.push_pattern(heap, self.service_heap_bytes as usize, 0xC0);
+            logical += self.service_heap_bytes / LINE_BYTES as u64;
             // It dirties a few of the shared pages (argv/env rewrite,
             // config parsing scratch) — CoW breaks.
             for _ in 0..6 {
                 let page = r.gen_range(0..(self.shared_bytes / page_bytes).max(1));
-                sys.write_bytes(child, shared + page * page_bytes, &[service as u8])?;
+                service_work.push_write(shared + page * page_bytes, &[service as u8]);
                 logical += 1;
             }
             // I/O burst: sequential buffer writes (DMA staging).
             let io_bytes = 64 * LINE_BYTES as u64;
             let io_off = (service * io_bytes * 2) % (self.service_heap_bytes - io_bytes);
-            sys.write_pattern(child, heap + io_off, io_bytes as usize, 0xD0)?;
+            service_work.push_pattern(heap + io_off, io_bytes as usize, 0xD0);
             logical += io_bytes / LINE_BYTES as u64;
+            sys.run_batch(child, &service_work)?;
             // Most services are short-lived.
             if service % 4 != 0 {
                 sys.exit(child)?;

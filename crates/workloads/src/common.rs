@@ -2,7 +2,7 @@
 
 use lelantus_os::kernel::ProcessId;
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::{PageSize, VirtAddr, LINE_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,13 +12,47 @@ pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// Updates `bytes` bytes of the page at `page_va`, spread uniformly
-/// across its cachelines — the paper's forkbench update pattern
-/// (§V-D: "make all the writes in the child process evenly
-/// distributed").
+/// Queues the forkbench update pattern for one page onto `batch`:
+/// `bytes` bytes spread uniformly across the page's cachelines (§V-D:
+/// "make all the writes in the child process evenly distributed").
 ///
 /// With `bytes <= lines`, one byte lands on each of `bytes` evenly
 /// spaced lines; beyond that, lines fill up uniformly.
+///
+/// Returns the number of line-granularity writes queued.
+pub fn push_update_spread(
+    batch: &mut AccessBatch,
+    page_va: VirtAddr,
+    page_size: PageSize,
+    bytes: u64,
+    tag: u8,
+) -> u64 {
+    let lines = page_size.lines() as u64;
+    let bytes = bytes.min(page_size.bytes());
+    if bytes == 0 {
+        return 0;
+    }
+    if bytes <= lines {
+        // One byte on each of `bytes` evenly spaced lines.
+        let stride = lines / bytes;
+        for i in 0..bytes {
+            let line = i * stride;
+            batch.push_pattern(page_va + line * LINE_BYTES as u64, 1, tag);
+        }
+        bytes
+    } else {
+        // Every line is touched; spread the remaining bytes evenly.
+        let per_line = (bytes / lines).min(LINE_BYTES as u64) as usize;
+        for line in 0..lines {
+            batch.push_pattern(page_va + line * LINE_BYTES as u64, per_line, tag);
+        }
+        lines
+    }
+}
+
+/// Updates `bytes` bytes of the page at `page_va`, spread uniformly
+/// across its cachelines, through the batched access engine (see
+/// [`push_update_spread`] to queue onto a reusable batch instead).
 ///
 /// Returns the number of line-granularity writes issued.
 ///
@@ -33,28 +67,10 @@ pub fn update_spread<P: Probe>(
     bytes: u64,
     tag: u8,
 ) -> Result<u64, OsError> {
-    let lines = page_size.lines() as u64;
-    let bytes = bytes.min(page_size.bytes());
-    if bytes == 0 {
-        return Ok(0);
-    }
-    if bytes <= lines {
-        // One byte on each of `bytes` evenly spaced lines.
-        let stride = lines / bytes;
-        for i in 0..bytes {
-            let line = i * stride;
-            sys.write_bytes(pid, page_va + line * LINE_BYTES as u64, &[tag])?;
-        }
-        Ok(bytes)
-    } else {
-        // Every line is touched; spread the remaining bytes evenly.
-        let per_line = bytes / lines;
-        let chunk = vec![tag; per_line.min(LINE_BYTES as u64) as usize];
-        for line in 0..lines {
-            sys.write_bytes(pid, page_va + line * LINE_BYTES as u64, &chunk)?;
-        }
-        Ok(lines)
-    }
+    let mut batch = AccessBatch::new();
+    let n = push_update_spread(&mut batch, page_va, page_size, bytes, tag);
+    sys.run_batch(pid, &batch)?;
+    Ok(n)
 }
 
 /// Writes every line of `[va, va+len)` once (bulk initialization).
@@ -70,7 +86,9 @@ pub fn init_all_lines<P: Probe>(
     len: u64,
     tag: u8,
 ) -> Result<u64, OsError> {
-    sys.write_pattern(pid, va, len as usize, tag)?;
+    let mut batch = AccessBatch::new();
+    batch.push_pattern(va, len as usize, tag);
+    sys.run_batch(pid, &batch)?;
     Ok(len / LINE_BYTES as u64)
 }
 

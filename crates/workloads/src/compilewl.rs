@@ -8,9 +8,13 @@
 use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
+
+/// Ops accumulated per `run_batch` call (bounds batch memory while
+/// keeping translation runs long).
+const BATCH_OPS: usize = 4096;
 
 /// Compile workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -60,22 +64,33 @@ impl<P: Probe> Workload<P> for Compile {
 
         // Front-end: build IR — sequential allocation writes over the
         // heap (every line demand-zero-faults its page on first touch).
+        // All cc1 work accumulates into one reusable batch, flushed
+        // every `BATCH_OPS` ops to bound memory.
+        let mut batch = AccessBatch::new();
         let mut alloc_pos = 0u64;
-        let node = [0xAEu8; 48];
         while alloc_pos + LINE_BYTES as u64 <= self.heap_bytes {
-            sys.write_bytes(cc1, heap + alloc_pos, &node)?;
+            batch.push_pattern(heap + alloc_pos, 48, 0xAE);
             logical += 1;
             alloc_pos += LINE_BYTES as u64;
+            if batch.len() >= BATCH_OPS {
+                sys.run_batch(cc1, &batch)?;
+                batch.clear();
+            }
         }
         // Optimization passes: skewed read-modify-write over the IR.
         for _ in 0..self.rewrite_ops {
             let off = skewed_offset(&mut r, self.heap_bytes);
-            sys.read_bytes(cc1, heap + off, 16)?;
+            batch.push_read(heap + off, 16);
             if r.gen_bool(0.4) {
-                sys.write_bytes(cc1, heap + off, &[0x0F; 16])?;
+                batch.push_pattern(heap + off, 16, 0x0F);
                 logical += 1;
             }
+            if batch.len() >= BATCH_OPS {
+                sys.run_batch(cc1, &batch)?;
+                batch.clear();
+            }
         }
+        sys.run_batch(cc1, &batch)?;
         sys.exit(cc1)?;
         let end = sys.finish();
         Ok(WorkloadRun { measured: end.delta_since(&start), logical_line_writes: logical })

@@ -7,10 +7,12 @@
 //! (4 KB) and 512 lines/page (2 MB); Fig 11 sweeps `bytes_per_page`
 //! from one byte to the whole page.
 
-use crate::common::update_spread;
+use crate::common::push_update_spread;
 use crate::{Workload, WorkloadRun};
+use lelantus_os::kernel::ProcessId;
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
+use lelantus_types::VirtAddr;
 
 /// Forkbench parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +41,80 @@ impl Forkbench {
     pub fn with_bytes_per_page(bytes: u64) -> Self {
         Self { total_bytes: 16 << 20, bytes_per_page: Some(bytes) }
     }
+
+    /// Runs the unmeasured setup phase: initialize the allocation,
+    /// fork. Independent of `bytes_per_page`, so sweeps over the
+    /// update size can run [`Forkbench::setup`] once, snapshot the
+    /// system, and fork each sweep point from the snapshot instead of
+    /// replaying the warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn setup<P: Probe>(&self, sys: &mut System<P>) -> Result<ForkbenchState, OsError> {
+        let page_size = sys.config().page_size;
+        let page_bytes = page_size.bytes();
+        let pages = self.total_bytes / page_bytes;
+        let parent = sys.spawn_init();
+        let va = sys.mmap(parent, self.total_bytes)?;
+        let mut batch = AccessBatch::new();
+        for p in 0..pages {
+            batch.clear();
+            push_update_spread(&mut batch, va + p * page_bytes, page_size, page_bytes, 0xA5);
+            sys.run_batch(parent, &batch)?;
+        }
+        let child = sys.fork(parent)?;
+        Ok(ForkbenchState { child, va })
+    }
+
+    /// Runs the measured phase — the child's update pass — from a
+    /// [`Forkbench::setup`] (or a snapshot fork of one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure<P: Probe>(
+        &self,
+        sys: &mut System<P>,
+        state: &ForkbenchState,
+    ) -> Result<WorkloadRun, OsError> {
+        let page_size = sys.config().page_size;
+        let page_bytes = page_size.bytes();
+        let pages = self.total_bytes / page_bytes;
+        let bytes_per_page = self.bytes_per_page.unwrap_or(match page_size {
+            lelantus_types::PageSize::Regular4K => 32,
+            lelantus_types::PageSize::Huge2M => 512,
+        });
+        let start = {
+            sys.finish();
+            sys.metrics()
+        };
+        let mut logical = 0;
+        let mut batch = AccessBatch::new();
+        for p in 0..pages {
+            batch.clear();
+            logical += push_update_spread(
+                &mut batch,
+                state.va + p * page_bytes,
+                page_size,
+                bytes_per_page,
+                0x5A,
+            );
+            sys.run_batch(state.child, &batch)?;
+        }
+        let end = sys.finish();
+        Ok(WorkloadRun { measured: end.delta_since(&start), logical_line_writes: logical })
+    }
+}
+
+/// The machine state a [`Forkbench::setup`] leaves behind: the forked
+/// child and the allocation it updates.
+#[derive(Debug, Clone, Copy)]
+pub struct ForkbenchState {
+    /// The forked child whose update pass is measured.
+    pub child: ProcessId,
+    /// Base of the shared allocation.
+    pub va: VirtAddr,
 }
 
 impl<P: Probe> Workload<P> for Forkbench {
@@ -47,35 +123,10 @@ impl<P: Probe> Workload<P> for Forkbench {
     }
 
     fn run(&self, sys: &mut System<P>) -> Result<WorkloadRun, OsError> {
-        let page_size = sys.config().page_size;
-        let page_bytes = page_size.bytes();
-        let pages = self.total_bytes / page_bytes;
-        let bytes_per_page = self.bytes_per_page.unwrap_or(match page_size {
-            lelantus_types::PageSize::Regular4K => 32,
-            lelantus_types::PageSize::Huge2M => 512,
-        });
-
-        // Setup (fast-forwarded in the paper): initialize the memory,
-        // then fork.
-        let parent = sys.spawn_init();
-        let va = sys.mmap(parent, self.total_bytes)?;
-        for p in 0..pages {
-            update_spread(sys, parent, va + p * page_bytes, page_size, page_bytes, 0xA5)?;
-        }
-        let child = sys.fork(parent)?;
-
-        // Measured phase: the child updates its pages.
-        let start = {
-            sys.finish();
-            sys.metrics()
-        };
-        let mut logical = 0;
-        for p in 0..pages {
-            logical +=
-                update_spread(sys, child, va + p * page_bytes, page_size, bytes_per_page, 0x5A)?;
-        }
-        let end = sys.finish();
-        Ok(WorkloadRun { measured: end.delta_since(&start), logical_line_writes: logical })
+        // Setup (fast-forwarded in the paper), then the measured
+        // child update pass.
+        let state = self.setup(sys)?;
+        self.measure(sys, &state)
     }
 }
 

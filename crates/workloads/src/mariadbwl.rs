@@ -9,8 +9,12 @@
 use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::LINE_BYTES;
+
+/// Ops accumulated per `run_batch` call (bounds batch memory while
+/// keeping translation runs long).
+const BATCH_OPS: usize = 4096;
 
 /// MariaDB load-phase parameters.
 #[derive(Debug, Clone, Copy)]
@@ -73,24 +77,32 @@ impl<P: Probe> Workload<P> for Mariadb {
             sys.metrics()
         };
         let mut logical = 0u64;
-        let row = vec![0xEEu8; row_bytes as usize];
         let mut log_pos = 0u64;
+        // The whole load phase is one process on one core with no
+        // syscalls: accumulate into one reusable batch, flushed every
+        // `BATCH_OPS` ops to bound memory.
+        let mut batch = AccessBatch::new();
         for i in 0..self.rows {
             // Row insert: sequential placement in the buffer pool
             // (first touch of each page is a demand-zero fault).
             let pos = (i * row_bytes) % (self.buffer_pool_bytes - row_bytes);
-            sys.write_bytes(server, pool + pos, &row)?;
+            batch.push_pattern(pool + pos, row_bytes as usize, 0xEE);
             logical += row_bytes / LINE_BYTES as u64;
             // Index maintenance: skewed update.
             let ioff = skewed_offset(&mut r, self.index_bytes);
-            sys.read_bytes(server, index + ioff, 32)?;
-            sys.write_bytes(server, index + ioff, &[i as u8; 16])?;
+            batch.push_read(index + ioff, 32);
+            batch.push_write(index + ioff, &[i as u8; 16]);
             logical += 1;
             // Redo log append (wrapping ring).
-            sys.write_bytes(server, log + log_pos, &[0x10; 32])?;
+            batch.push_pattern(log + log_pos, 32, 0x10);
             logical += 1;
             log_pos = (log_pos + 32) % (self.log_bytes - 32);
+            if batch.len() >= BATCH_OPS {
+                sys.run_batch(server, &batch)?;
+                batch.clear();
+            }
         }
+        sys.run_batch(server, &batch)?;
         let end = sys.finish();
         Ok(WorkloadRun { measured: end.delta_since(&start), logical_line_writes: logical })
     }

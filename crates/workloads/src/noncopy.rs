@@ -6,10 +6,10 @@
 //! the regular read/write datapath is untouched, so the probe verifies
 //! the schemes' overhead on ordinary traffic is nil.
 
-use crate::common::update_spread;
+use crate::common::push_update_spread;
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 
 /// Non-copy probe parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,8 +53,12 @@ impl<P: Probe> Workload<P> for NonCopy {
             sys.metrics()
         };
         let mut logical = 0u64;
+        let mut batch = AccessBatch::new();
         for p in 0..pages {
-            logical += update_spread(sys, pid, va + p * page_bytes, page_size, page_bytes, 0x77)?;
+            batch.clear();
+            logical +=
+                push_update_spread(&mut batch, va + p * page_bytes, page_size, page_bytes, 0x77);
+            sys.run_batch(pid, &batch)?;
         }
         let end = sys.finish();
         Ok(WorkloadRun { measured: end.delta_since(&start), logical_line_writes: logical })

@@ -17,7 +17,7 @@
 use crate::common::rng;
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
 
@@ -84,22 +84,30 @@ impl<P: Probe> Workload<P> for Redis {
         };
         let scan_chunk = (dataset_bytes / self.operations.max(1)).max(LINE_BYTES as u64);
         let mut scan_pos = 0u64;
-        let value = vec![0x55u8; self.value_bytes];
+        // Reusable batches, one per core: batches are per-process, and
+        // the parent/child interleave (which sets the bank/bus
+        // contention pattern) must stay at request granularity.
+        let mut serve = AccessBatch::new();
+        let mut scan = AccessBatch::new();
         for _ in 0..self.operations / 2 {
             // Parent SET: random key, full value write (CoW break on
-            // first touch of the page during the snapshot).
+            // first touch of the page during the snapshot); then a
+            // GET: random key read.
             sys.use_core(0);
+            serve.clear();
             let key = r.gen_range(0..self.pairs);
-            sys.write_bytes(parent, self.slot_va(base, key), &value)?;
+            serve.push_pattern(self.slot_va(base, key), self.value_bytes, 0x55);
             logical += (self.value_bytes as u64).div_ceil(LINE_BYTES as u64);
-            // Parent GET: random key read.
             let key = r.gen_range(0..self.pairs);
-            sys.read_bytes(parent, self.slot_va(base, key), self.value_bytes)?;
+            serve.push_read(self.slot_va(base, key), self.value_bytes);
+            sys.run_batch(parent, &serve)?;
             // Child persists the next chunk concurrently on core 1.
             if scan_pos < dataset_bytes {
                 sys.use_core(1);
                 let take = scan_chunk.min(dataset_bytes - scan_pos) as usize;
-                sys.read_bytes(child, base + scan_pos, take)?;
+                scan.clear();
+                scan.push_read(base + scan_pos, take);
+                sys.run_batch(child, &scan)?;
                 scan_pos += take as u64;
             }
         }
@@ -107,7 +115,9 @@ impl<P: Probe> Workload<P> for Redis {
         sys.use_core(1);
         while scan_pos < dataset_bytes {
             let take = scan_chunk.min(dataset_bytes - scan_pos) as usize;
-            sys.read_bytes(child, base + scan_pos, take)?;
+            scan.clear();
+            scan.push_read(base + scan_pos, take);
+            sys.run_batch(child, &scan)?;
             scan_pos += take as u64;
         }
         sys.use_core(0);

@@ -11,7 +11,7 @@
 use crate::common::{rng, skewed_offset};
 use crate::{Workload, WorkloadRun};
 use lelantus_os::OsError;
-use lelantus_sim::{Probe, System};
+use lelantus_sim::{AccessBatch, Probe, System};
 use lelantus_types::LINE_BYTES;
 use rand::Rng;
 
@@ -60,26 +60,34 @@ impl<P: Probe> Workload<P> for Shell {
             sys.metrics()
         };
         let mut logical = 0u64;
+        // Reusable batches: find's reads, then everything ls does
+        // between its mmap and exit (batches cannot cross syscalls).
+        let mut find_reads = AccessBatch::new();
+        let mut ls_work = AccessBatch::new();
         for dir in 0..self.directories {
             // find reads directory metadata from its image.
+            find_reads.clear();
             for _ in 0..8 {
                 let off = skewed_offset(&mut r, self.image_bytes);
-                sys.read_bytes(shell, image + off, 48)?;
+                find_reads.push_read(image + off, 48);
             }
+            sys.run_batch(shell, &find_reads)?;
             // Spawn ls.
             let ls = sys.fork(shell)?;
             // ls relocates/initializes a bit of its copy of the image
             // (GOT/PLT and malloc arena headers): a few CoW breaks.
+            ls_work.clear();
             for _ in 0..4 {
                 let page = r.gen_range(0..(self.image_bytes / page_bytes).max(1));
-                sys.write_bytes(ls, image + page * page_bytes, &[dir as u8])?;
+                ls_work.push_write(image + page * page_bytes, &[dir as u8]);
                 logical += 1;
             }
             // Output buffer: demand-zero, then a sequential listing.
             let buf = sys.mmap(ls, self.buffer_bytes)?;
             let listing = self.buffer_bytes / 2;
-            sys.write_pattern(ls, buf, listing as usize, 0x7E)?;
+            ls_work.push_pattern(buf, listing as usize, 0x7E);
             logical += listing / LINE_BYTES as u64;
+            sys.run_batch(ls, &ls_work)?;
             // ls exits; its pages are freed (page_free under Lelantus).
             sys.exit(ls)?;
         }
