@@ -19,7 +19,10 @@
 //!   embarrassingly parallel and bit-identical to the serial order.
 //! * [`results`] — appends measured values to `BENCH_RESULTS.json` at
 //!   the repository root so `EXPERIMENTS.md` claims are reproducible.
+//! * [`diff`] — compares two `BENCH_RESULTS.json` snapshots and flags
+//!   regressions (the `lelantus bench-diff` CLI and the CI gate).
 
+pub mod diff;
 pub mod harness;
 pub mod matrix;
 pub mod results;

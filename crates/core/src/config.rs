@@ -117,6 +117,13 @@ pub struct ControllerConfig {
     /// buffer so page sweeps touch each MAC line once (host-side only;
     /// cache ticks and stats are exact). On by default.
     pub mac_write_combining: bool,
+    /// Record cycle-attribution segments (counter fills, Merkle walks,
+    /// MAC traffic, AES pads, CoW redirects, implicit copies) for the
+    /// system layer's [`CycleLedger`](lelantus_obs::CycleLedger). Off
+    /// by default; enable through `SimConfig::with_cycle_ledger` so the
+    /// segments are actually drained. Purely observational: timing,
+    /// stats and contents are bit-identical either way.
+    pub cycle_ledger: bool,
 }
 
 impl ControllerConfig {
@@ -151,6 +158,7 @@ impl ControllerConfig {
             use_reference_codec: false,
             use_eager_merkle: false,
             mac_write_combining: true,
+            cycle_ledger: false,
         }
     }
 

@@ -37,7 +37,9 @@ use lelantus_metadata::cow_meta::{CowCache, CowMetaTable};
 use lelantus_metadata::layout::MetadataLayout;
 use lelantus_metadata::mac::{decode_mac_line, encode_mac_line, MacCache};
 use lelantus_nvm::{NvmDevice, NvmStats};
-use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
+use lelantus_obs::{
+    selfprof, CycleCategory, Event, EventKind, HistKind, NullProbe, Probe, Segment,
+};
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES, REGION_BYTES};
 use std::collections::HashSet;
 
@@ -80,6 +82,9 @@ pub struct SecureMemoryController<P: Probe = NullProbe> {
     stats: ControllerStats,
     footprint: FootprintTracker,
     probe: P,
+    /// Cycle-attribution segments recorded while servicing requests
+    /// (only when `config.cycle_ledger`; drained by the system layer).
+    segments: Vec<Segment>,
 }
 
 impl SecureMemoryController {
@@ -135,6 +140,64 @@ impl<P: Probe> SecureMemoryController<P> {
             footprint: FootprintTracker::new(config.track_footprint),
             config,
             probe,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Records a cycle-attribution segment when the ledger is enabled.
+    /// Purely observational: never affects timing, stats or contents.
+    fn seg(&mut self, start: Cycles, end: Cycles, cat: CycleCategory) {
+        if self.config.cycle_ledger && end > start {
+            self.segments.push(Segment { start: start.as_u64(), end: end.as_u64(), cat });
+        }
+    }
+
+    /// Moves the device's recorded segments into the controller buffer
+    /// (ordering them before anything recorded after this call).
+    fn pull_device_segments(&mut self) {
+        if self.config.cycle_ledger {
+            self.nvm.drain_segments_into(&mut self.segments);
+        }
+    }
+
+    /// Moves all recorded attribution segments (controller + device)
+    /// into `out`. The system layer calls this at every clock-advance
+    /// site and feeds the result to `lelantus_obs::attribute`.
+    pub fn drain_segments_into(&mut self, out: &mut Vec<Segment>) {
+        self.nvm.drain_segments_into(&mut self.segments);
+        out.append(&mut self.segments);
+    }
+
+    /// Discards recorded attribution segments. The system layer calls
+    /// this after operations whose charges do not advance its clocks
+    /// (MMIO commands billed at a flat latency, KSM fingerprinting,
+    /// crash recovery) so their segments cannot leak into the next
+    /// attribution window.
+    pub fn discard_segments(&mut self) {
+        self.nvm.discard_segments();
+        self.segments.clear();
+    }
+
+    /// Marks the start of a bulk operation whose entire segment output
+    /// should be relabelled (see [`Self::seg_relabel_from`]).
+    fn seg_mark(&mut self) -> Option<usize> {
+        if self.config.cycle_ledger {
+            self.pull_device_segments();
+            Some(self.segments.len())
+        } else {
+            None
+        }
+    }
+
+    /// Relabels every segment recorded since `mark` to `cat`: a bulk
+    /// page copy is *all* bulk-copy time in the paper's breakdown, even
+    /// though it decomposes into fills, pads and bank accesses.
+    fn seg_relabel_from(&mut self, mark: Option<usize>, cat: CycleCategory) {
+        if let Some(mark) = mark {
+            self.pull_device_segments();
+            for s in &mut self.segments[mark..] {
+                s.cat = cat;
+            }
         }
     }
 
@@ -206,6 +269,7 @@ impl<P: Probe> SecureMemoryController<P> {
     /// device write queue) to the NVM array; returns the completion
     /// instant. Call at simulation end so write counts are exact.
     pub fn flush_all(&mut self, now: Cycles) -> Cycles {
+        let _prof = selfprof::scope("ctrl::flush_all");
         self.mac_wc_flush();
         let encoding = self.encoding();
         let mut done = now;
@@ -324,7 +388,10 @@ impl<P: Probe> SecureMemoryController<P> {
             });
         }
         // Tree nodes are contiguous: charge row-hit latency per fetch.
+        let t_read = t;
         let t = t + Cycles::new(walk.nodes_fetched * self.config.nvm.row_hit_latency);
+        self.seg(now, t_read, CycleCategory::CounterFill);
+        self.seg(t_read, t, CycleCategory::MerkleWalk);
         let block = CounterBlock::decode_with(&bytes, self.encoding(), self.codec());
         if let Some(ev) = self.counter_cache.insert(region, block, false) {
             let encoding = self.encoding();
@@ -359,6 +426,7 @@ impl<P: Probe> SecureMemoryController<P> {
         } else {
             self.nvm.write_line(caddr, bytes, now)
         };
+        self.seg(now, t, CycleCategory::CounterFill);
         let walk = self.merkle.update_leaf(region as usize, &bytes);
         self.stats.merkle_fetches += walk.nodes_fetched;
         if P::ENABLED && walk.nodes_fetched > 0 {
@@ -414,6 +482,7 @@ impl<P: Probe> SecureMemoryController<P> {
                     }
                     let (slot_line, _off) = self.layout.cow_meta_slot_of_region(region);
                     let (_bytes, t) = self.nvm.read_line(slot_line, now);
+                    self.seg(now, t, CycleCategory::CowRedirect);
                     let mapping = self.cow_table.get(region);
                     self.cow_cache.fill(region, mapping);
                     (mapping, t)
@@ -436,7 +505,9 @@ impl<P: Probe> SecureMemoryController<P> {
         // Read-modify-write of the 64 B metadata line, functionally.
         let mut line = self.nvm.peek_line(slot_line);
         line[off..off + 8].copy_from_slice(&self.cow_table.slot_bytes(region));
-        self.nvm.write_line(slot_line, line, now)
+        let t = self.nvm.write_line(slot_line, line, now);
+        self.seg(now, t, CycleCategory::CowRedirect);
+        t
     }
 
     /// Keyed tag binding a ciphertext line to its address and counter
@@ -478,6 +549,7 @@ impl<P: Probe> SecureMemoryController<P> {
         self.stats.mac_fetches += 1;
         let (addr, _slot) = self.layout.mac_slot_of_line(line_addr);
         let (bytes, t) = self.nvm.read_line(addr, now);
+        self.seg(now, t, CycleCategory::Mac);
         let line = decode_mac_line(&bytes);
         if let Some(ev) = self.mac_cache.fill(index, line, false) {
             self.writeback_mac_line(ev.index, &ev.macs, now);
@@ -488,7 +560,8 @@ impl<P: Probe> SecureMemoryController<P> {
     fn writeback_mac_line(&mut self, index: u64, macs: &[u64; 8], now: Cycles) {
         self.stats.mac_writebacks += 1;
         let addr = PhysAddr::new(self.layout.mac_base + index * LINE_BYTES as u64);
-        self.nvm.write_line(addr, encode_mac_line(macs), now);
+        let t = self.nvm.write_line(addr, encode_mac_line(macs), now);
+        self.seg(now, t, CycleCategory::Mac);
     }
 
     /// Verifies a fetched ciphertext line against its stored MAC. A
@@ -602,17 +675,26 @@ impl<P: Probe> SecureMemoryController<P> {
                 let Some(src) = src else {
                     // Scrubbed/freed region with no mapping: zeros.
                     self.stats.zero_reads += 1;
+                    self.seg(counters_ready, t, CycleCategory::CowRedirect);
                     return ([0; LINE_BYTES], t + Cycles::new(1), hops);
                 };
                 hops += 1;
                 if self.is_zero_region(src) {
                     self.stats.zero_reads += 1;
+                    self.seg(counters_ready, t, CycleCategory::CowRedirect);
                     return ([0; LINE_BYTES], t + Cycles::new(1), hops);
                 }
                 cur_region = src;
                 let (b, t3) = self.fetch_counter(src, t);
                 cur_block = b;
                 t = t3;
+            }
+            if hops > 0 {
+                // The whole chain walk — source lookups plus the
+                // ancestors' counter fetches — is redirect overhead
+                // (outranks the CounterFill/MerkleWalk segments the
+                // nested fetches recorded inside this window).
+                self.seg(counters_ready, t, CycleCategory::CowRedirect);
             }
         }
         let data_addr = self.line_addr(cur_region, line);
@@ -630,6 +712,9 @@ impl<P: Probe> SecureMemoryController<P> {
             data_issue,
         );
         let pad_ready = t + Cycles::new(self.config.aes_latency);
+        // Low priority: the pad overlaps the data fetch, so only its
+        // exposed tail ends up booked as AES time.
+        self.seg(t, pad_ready, CycleCategory::AesPad);
         let iv = IvSpec {
             line_addr: data_addr.as_u64(),
             major: cur_block.major,
@@ -692,9 +777,11 @@ impl<P: Probe> SecureMemoryController<P> {
         // First write to an uncopied CoW line completes the copy
         // implicitly (paper §III-B).
         if self.config.scheme.supports_lazy_copy() && block.minors[line] == 0 {
+            let t_src = t;
             let (src, t2) = self.source_of(region, &block, t);
             t = t2;
             if src.is_some() {
+                self.seg(t_src, t, CycleCategory::ImplicitCopy);
                 self.stats.implicit_copies += 1;
                 if P::ENABLED {
                     self.probe.emit(Event {
@@ -852,6 +939,7 @@ impl<P: Probe> SecureMemoryController<P> {
     /// Panics if the scheme has no lazy-copy support or the addresses
     /// are not region-aligned.
     pub fn cmd_page_phyc(&mut self, src: PhysAddr, dst: PhysAddr, now: Cycles) -> Cycles {
+        let _prof = selfprof::scope("ctrl::cmd_page_phyc");
         assert!(self.config.scheme.supports_lazy_copy(), "page_phyc needs a Lelantus scheme");
         assert!(src.is_aligned_to(REGION_BYTES) && dst.is_aligned_to(REGION_BYTES));
         let t = now + Cycles::new(self.config.cmd_latency);
@@ -990,7 +1078,9 @@ impl<P: Probe> SecureMemoryController<P> {
         bytes: u64,
         now: Cycles,
     ) -> Cycles {
+        let _prof = selfprof::scope("ctrl::copy_page_bulk");
         let lines = bytes / LINE_BYTES as u64;
+        let mark = self.seg_mark();
         let mut done = now;
         for i in 0..lines {
             let offset = i * LINE_BYTES as u64;
@@ -1000,13 +1090,16 @@ impl<P: Probe> SecureMemoryController<P> {
             done = done.max(self.write_data_line(dst + offset, data, t_read));
             self.stats.bulk_copied_lines += 1;
         }
+        self.seg_relabel_from(mark, CycleCategory::BulkCopy);
         done
     }
 
     /// Baseline whole-page zeroing (the kernel `memset` on first
     /// touch), non-temporal.
     pub fn zero_page_bulk(&mut self, base: PhysAddr, bytes: u64, now: Cycles) -> Cycles {
+        let _prof = selfprof::scope("ctrl::zero_page_bulk");
         let lines = bytes / LINE_BYTES as u64;
+        let mark = self.seg_mark();
         let mut done = now;
         for i in 0..lines {
             let offset = i * LINE_BYTES as u64;
@@ -1017,6 +1110,7 @@ impl<P: Probe> SecureMemoryController<P> {
             ));
             self.stats.bulk_zeroed_lines += 1;
         }
+        self.seg_relabel_from(mark, CycleCategory::BulkCopy);
         done
     }
 
@@ -1047,6 +1141,7 @@ impl<P: Probe> SecureMemoryController<P> {
     /// Returns [`TamperError`] if the rebuilt tree does not match the
     /// persisted root — NVM was modified while powered down.
     pub fn crash_and_recover(&mut self) -> Result<RecoveryReport, lelantus_crypto::TamperError> {
+        let _prof = selfprof::scope("ctrl::crash_and_recover");
         // --- power fails ---
         self.mac_wc_flush();
         // ADR: drain the device write queue.

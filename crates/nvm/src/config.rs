@@ -50,6 +50,10 @@ pub struct NvmConfig {
     /// of magnitude more than reads — the same asymmetry that motivates
     /// Lelantus).
     pub write_energy_pj: u64,
+    /// Record cycle-attribution [`Segment`](lelantus_obs::Segment)s for
+    /// bank service and queue stalls (off by default; enable through
+    /// `SimConfig::with_cycle_ledger` so the system layer drains them).
+    pub cycle_ledger: bool,
 }
 
 impl Default for NvmConfig {
@@ -68,6 +72,7 @@ impl Default for NvmConfig {
             bus_cycles: 4,
             read_energy_pj: 1_000,
             write_energy_pj: 12_000,
+            cycle_ledger: false,
         }
     }
 }

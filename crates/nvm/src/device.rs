@@ -7,7 +7,7 @@ use crate::stats::NvmStats;
 use crate::store::LineStore;
 use crate::wear::WearTracker;
 use crate::write_queue::WriteQueue;
-use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
+use lelantus_obs::{CycleCategory, Event, EventKind, HistKind, NullProbe, Probe, Segment};
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
 
 /// The simulated non-volatile memory device.
@@ -41,6 +41,9 @@ pub struct NvmDevice<P: Probe = NullProbe> {
     leveler: Option<StartGap>,
     stats: NvmStats,
     probe: P,
+    /// Cycle-attribution segments recorded while servicing requests
+    /// (only when `config.cycle_ledger`; drained by the controller).
+    segments: Vec<Segment>,
 }
 
 impl NvmDevice {
@@ -81,7 +84,27 @@ impl<P: Probe> NvmDevice<P> {
             leveler,
             stats: NvmStats::default(),
             probe,
+            segments: Vec::new(),
         }
+    }
+
+    /// Records a cycle-attribution segment when the ledger is enabled.
+    fn seg(&mut self, start: Cycles, end: Cycles, cat: CycleCategory) {
+        if self.config.cycle_ledger && end > start {
+            self.segments.push(Segment { start: start.as_u64(), end: end.as_u64(), cat });
+        }
+    }
+
+    /// Moves all recorded attribution segments into `out`.
+    pub fn drain_segments_into(&mut self, out: &mut Vec<Segment>) {
+        out.append(&mut self.segments);
+    }
+
+    /// Discards recorded attribution segments (used around un-timed or
+    /// re-based operations whose segments must not leak into the next
+    /// attribution window).
+    pub fn discard_segments(&mut self) {
+        self.segments.clear();
     }
 
     /// Device (post-leveling) line address of a logical line address.
@@ -205,6 +228,7 @@ impl<P: Probe> NvmDevice<P> {
         }
         self.stats.line_reads += 1;
         let done = self.array_access(line, now, false);
+        self.seg(now, done, CycleCategory::BankService);
         let device = self.map_addr(line);
         let data = self.contents.get(device.as_u64()).unwrap_or([0; LINE_BYTES]);
         (data, done)
@@ -266,7 +290,11 @@ impl<P: Probe> NvmDevice<P> {
                     self.probe.record(HistKind::WriteQueueDepth, depth as u64);
                 }
                 // The pusher stalls only until queue space exists.
-                done.max(now + Cycles::new(1))
+                let ack = done.max(now + Cycles::new(1));
+                // A full queue stalls the pusher on the drain: that
+                // back-pressure is the queue-wait component.
+                self.seg(now, ack, CycleCategory::QueueWait);
+                ack
             }
         }
     }
@@ -288,6 +316,7 @@ impl<P: Probe> NvmDevice<P> {
         // Remove a stale queued write so it cannot clobber this one.
         self.write_queue.discard(line);
         let done = self.array_access(line, now, true);
+        self.seg(now, done, CycleCategory::BankService);
         self.stats.line_writes += 1;
         self.wear.record_line_write(device);
         done
@@ -302,6 +331,9 @@ impl<P: Probe> NvmDevice<P> {
         for w in drained {
             let device = self.map_addr(w.addr);
             let t = self.array_access(w.addr, w.enqueued_at, true);
+            // Only the tail of a drain that outlives the barrier's
+            // issue time is attributable wait at the barrier.
+            self.seg(now, t, CycleCategory::BankService);
             self.stats.line_writes += 1;
             self.wear.record_line_write(device);
             if P::ENABLED {

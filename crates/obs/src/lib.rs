@@ -24,7 +24,14 @@
 //!   [`JsonlProbe`] (streaming JSONL file), [`TeeProbe`] (fan-out),
 //!   and `Option<P>` (runtime-optional sink).
 //! * [`chrome_trace`] — renders captured events and counter series as
-//!   a chrome://tracing / Perfetto-compatible JSON document.
+//!   a chrome://tracing / Perfetto-compatible JSON document
+//!   ([`chrome_trace_with_spans`] adds per-category duration lanes).
+//! * [`CycleLedger`]/[`CycleCategory`] — the cycle-attribution ledger:
+//!   charges every simulated cycle to exactly one component category
+//!   so `lelantus profile` can reproduce the paper's overhead
+//!   breakdown (see [`ledger`]).
+//! * [`selfprof`] — a wall-clock self-profiler (scoped timers per
+//!   component) that compiles away without the `selfprof` feature.
 //!
 //! # Examples
 //!
@@ -43,10 +50,13 @@
 
 pub mod event;
 pub mod hist;
+pub mod ledger;
 pub mod probe;
+pub mod selfprof;
 pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use hist::{HistKind, Histogram, HistogramSet};
+pub use ledger::{attribute, CycleCategory, CycleLedger, Segment};
 pub use probe::{JsonlProbe, NullProbe, Probe, RingProbe, TeeProbe};
-pub use trace::{chrome_trace, CounterSeries};
+pub use trace::{chrome_trace, chrome_trace_with_spans, CounterSeries, Span};

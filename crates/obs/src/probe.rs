@@ -173,11 +173,25 @@ impl Probe for RingProbe {
     }
 }
 
+/// Events between automatic flushes of a [`JsonlProbe`]: a killed or
+/// panicking run loses at most this many trailing lines, and whatever
+/// is on disk is whole lines (flushes land on line boundaries).
+const JSONL_FLUSH_EVERY: u32 = 1024;
+
 struct JsonlInner {
     out: BufWriter<File>,
     path: PathBuf,
     counts: [u64; EventKind::COUNT],
     hists: HistogramSet,
+    since_flush: u32,
+}
+
+impl Drop for JsonlInner {
+    fn drop(&mut self) {
+        // Flush on drop (including unwinds) so truncated runs still
+        // leave a parseable JSONL tail; errors are unreportable here.
+        let _ = self.out.flush();
+    }
 }
 
 /// Streaming JSONL sink: every event becomes one line in a file as it
@@ -213,6 +227,7 @@ impl JsonlProbe {
                 path,
                 counts: [0; EventKind::COUNT],
                 hists: HistogramSet::new(),
+                since_flush: 0,
             })),
         })
     }
@@ -252,6 +267,11 @@ impl Probe for JsonlProbe {
         // A full disk mid-trace should not abort the simulation; the
         // final `flush` surfaces the error.
         let _ = writeln!(inner.out, "{line}");
+        inner.since_flush += 1;
+        if inner.since_flush >= JSONL_FLUSH_EVERY {
+            inner.since_flush = 0;
+            let _ = inner.out.flush();
+        }
     }
 
     fn record(&self, kind: HistKind, value: u64) {
@@ -363,6 +383,36 @@ mod tests {
         assert!(lines[0].contains("\"kind\":\"counter_fetch\""));
         assert!(lines[1].contains("\"child\":2"));
         assert_eq!(probe.counts()[EventKind::FORK], 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop_without_explicit_flush() {
+        let path = std::env::temp_dir().join("lelantus_obs_jsonl_drop_test.jsonl");
+        {
+            let probe = JsonlProbe::create(&path).unwrap();
+            probe.emit(ev(7));
+            // No flush(): the drop must leave a parseable tail.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.lines().next().unwrap().ends_with('}'), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_flushes_periodically_for_truncated_runs() {
+        let path = std::env::temp_dir().join("lelantus_obs_jsonl_periodic_test.jsonl");
+        let probe = JsonlProbe::create(&path).unwrap();
+        for i in 0..u64::from(JSONL_FLUSH_EVERY) {
+            probe.emit(ev(i));
+        }
+        // Without flush() or drop: the periodic flush already left all
+        // complete lines on disk (a SIGKILLed run would too).
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), JSONL_FLUSH_EVERY as usize);
+        assert!(text.ends_with('\n'), "flush lands on a line boundary");
+        drop(probe);
         let _ = std::fs::remove_file(&path);
     }
 

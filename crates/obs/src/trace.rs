@@ -18,6 +18,21 @@ pub struct CounterSeries {
     pub points: Vec<(u64, f64)>,
 }
 
+/// One duration span rendered as a chrome-trace complete event
+/// (`"ph":"X"`). Spans on the same `tid` render as one lane, so
+/// `lelantus profile` gives each cycle category its own lane.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Span (and lane) name, e.g. a `CycleCategory` name.
+    pub name: String,
+    /// Lane id within pid 1 (tid 0 is the instant-event lane).
+    pub tid: u32,
+    /// First cycle of the span.
+    pub start_cycle: u64,
+    /// Span length in cycles.
+    pub dur_cycles: u64,
+}
+
 /// Microsecond timestamp of a cycle (1 cycle = 1 ns).
 fn ts_us(cycle: u64) -> f64 {
     cycle as f64 / 1000.0
@@ -27,8 +42,20 @@ fn ts_us(cycle: u64) -> f64 {
 /// document (`{"traceEvents":[...]}`). Events become instant events on
 /// tid 0 of pid 1; each series becomes a counter track.
 pub fn chrome_trace(events: &[Event], series: &[CounterSeries]) -> String {
-    let mut entries: Vec<String> =
-        Vec::with_capacity(events.len() + series.iter().map(|s| s.points.len()).sum::<usize>() + 1);
+    chrome_trace_with_spans(events, series, &[])
+}
+
+/// [`chrome_trace`] plus duration spans: each [`Span`] becomes a
+/// complete event on its own lane, with a one-time `thread_name`
+/// metadata record naming the lane after the first span seen on it.
+pub fn chrome_trace_with_spans(
+    events: &[Event],
+    series: &[CounterSeries],
+    spans: &[Span],
+) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(
+        events.len() + series.iter().map(|s| s.points.len()).sum::<usize>() + spans.len() * 2 + 1,
+    );
     entries.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
          \"args\":{\"name\":\"lelantus-sim\"}}"
@@ -60,6 +87,31 @@ pub fn chrome_trace(events: &[Event], series: &[CounterSeries]) -> String {
             entries.push(s);
         }
     }
+    let mut named_lanes: Vec<u32> = Vec::new();
+    for span in spans {
+        if !named_lanes.contains(&span.tid) {
+            named_lanes.push(span.tid);
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                span.tid, span.name,
+            );
+            entries.push(s);
+        }
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3}}}",
+            span.name,
+            span.tid,
+            ts_us(span.start_cycle),
+            ts_us(span.dur_cycles),
+        );
+        entries.push(s);
+    }
     format!("{{\"traceEvents\":[\n{}\n]}}\n", entries.join(",\n"))
 }
 
@@ -88,6 +140,21 @@ mod tests {
         assert!(doc.contains("\"ph\":\"C\""));
         assert!(doc.contains("\"value\":7"));
         // Braces balance (no serde to parse, so count them).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn spans_render_as_named_lanes() {
+        let spans = [
+            Span { name: "aes_pad".into(), tid: 3, start_cycle: 1000, dur_cycles: 500 },
+            Span { name: "aes_pad".into(), tid: 3, start_cycle: 4000, dur_cycles: 250 },
+            Span { name: "mac".into(), tid: 4, start_cycle: 1000, dur_cycles: 40 },
+        ];
+        let doc = chrome_trace_with_spans(&[], &[], &spans);
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 3, "{doc}");
+        // One thread_name metadata record per lane, not per span.
+        assert_eq!(doc.matches("thread_name").count(), 2, "{doc}");
+        assert!(doc.contains("\"dur\":0.500"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 

@@ -49,6 +49,13 @@ pub struct SimConfig {
     /// are functionally identical; this exists for the equivalence
     /// tests that prove it.
     pub reference_access_path: bool,
+    /// Maintains the cycle-attribution ledger (`System::cycle_ledger`):
+    /// every simulated cycle is charged to exactly one
+    /// `CycleCategory`, with `sum(categories) == SimMetrics.cycles`.
+    /// Purely observational — a ledger-enabled run is bit-identical to
+    /// a disabled one. Set via [`SimConfig::with_cycle_ledger`], which
+    /// also enables segment recording in the controller and device.
+    pub cycle_ledger: bool,
 }
 
 /// Maps the kernel-side strategy onto the controller-side scheme.
@@ -77,7 +84,17 @@ impl SimConfig {
             tlb: TlbConfig::default(),
             epoch_interval: 0,
             reference_access_path: false,
+            cycle_ledger: false,
         }
+    }
+
+    /// Enables the cycle-attribution ledger across the whole stack
+    /// (system accounting plus controller/device segment recording).
+    pub fn with_cycle_ledger(mut self) -> Self {
+        self.cycle_ledger = true;
+        self.controller.cycle_ledger = true;
+        self.controller.nvm.cycle_ledger = true;
+        self
     }
 
     /// Enables the epoch sampler with the given period (cycles); 0
@@ -157,6 +174,13 @@ impl SimConfig {
         if self.controller.zero_area_bytes != 2 << 20 {
             return Err("the kernel reserves exactly one 2 MB zero page".into());
         }
+        if self.cycle_ledger != self.controller.cycle_ledger
+            || self.cycle_ledger != self.controller.nvm.cycle_ledger
+        {
+            // Segments are only drained when the system-level ledger
+            // runs; a partial enable would leak or starve them.
+            return Err("cycle_ledger must be enabled via with_cycle_ledger (all layers)".into());
+        }
         self.tlb.validate()?;
         Ok(())
     }
@@ -201,5 +225,15 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.kernel.phys_bytes, 32 << 20);
         assert_eq!(cfg.controller.counter_cache.policy, WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn cycle_ledger_must_enable_all_layers() {
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K).with_cycle_ledger();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.controller.cycle_ledger && cfg.controller.nvm.cycle_ledger);
+        let mut partial = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K);
+        partial.controller.cycle_ledger = true;
+        assert!(partial.validate().is_err(), "partial enable must be rejected");
     }
 }

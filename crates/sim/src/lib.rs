@@ -55,6 +55,7 @@ pub use system::{Snapshot, System};
 // benches, the CLI) can name probes without depending on lelantus-obs
 // directly.
 pub use lelantus_obs::{
-    chrome_trace, CounterSeries, Event, EventKind, HistKind, Histogram, HistogramSet, JsonlProbe,
-    NullProbe, Probe, RingProbe, TeeProbe,
+    chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, CycleLedger,
+    Event, EventKind, HistKind, Histogram, HistogramSet, JsonlProbe, NullProbe, Probe, RingProbe,
+    Span, TeeProbe,
 };

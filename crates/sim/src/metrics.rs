@@ -6,6 +6,7 @@ use lelantus_core::ControllerStats;
 use lelantus_metadata::counter_cache::CounterCacheStats;
 use lelantus_metadata::cow_meta::CowCacheStats;
 use lelantus_nvm::NvmStats;
+use lelantus_obs::CycleLedger;
 use lelantus_os::kernel::KernelStats;
 use lelantus_types::Cycles;
 
@@ -81,6 +82,10 @@ pub struct EpochSample {
     pub end_cycle: Cycles,
     /// True interval counters for the epoch (not running totals).
     pub delta: SimMetrics,
+    /// Per-category cycle attribution for the epoch (all zero unless
+    /// `SimConfig::with_cycle_ledger`; sums to `delta.cycles` when
+    /// enabled).
+    pub ledger: CycleLedger,
 }
 
 #[cfg(test)]

@@ -6,7 +6,10 @@ use crate::metrics::{EpochSample, SimMetrics};
 use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
 use lelantus_cache::CacheHierarchy;
 use lelantus_core::SecureMemoryController;
-use lelantus_obs::{Event, EventKind, HistKind, NullProbe, Probe};
+use lelantus_obs::{
+    attribute, selfprof, CycleCategory, CycleLedger, Event, EventKind, HistKind, NullProbe, Probe,
+    Segment,
+};
 use lelantus_os::kernel::{AccessKind, FaultKind, HwAction, Kernel, ProcessId};
 use lelantus_os::ksm::{merge_pass, KsmCandidate};
 use lelantus_os::OsError;
@@ -41,6 +44,15 @@ pub struct System<P: Probe = NullProbe> {
     epoch_last: SimMetrics,
     epoch_next: u64,
     epoch_samples: Vec<EpochSample>,
+    /// Cycle-attribution ledger (all zero unless
+    /// `SimConfig::with_cycle_ledger`). Invariant when enabled:
+    /// `ledger.total() == now()` at every quiescent point.
+    ledger: CycleLedger,
+    /// Ledger snapshot at the last epoch boundary (for epoch deltas).
+    epoch_ledger_last: CycleLedger,
+    /// Reusable buffer for controller segments (avoids per-access
+    /// allocation on the ledger path).
+    seg_scratch: Vec<Segment>,
 }
 
 impl System {
@@ -76,6 +88,9 @@ impl<P: Probe> System<P> {
             epoch_last: SimMetrics::default(),
             epoch_next: config.epoch_interval,
             epoch_samples: Vec::new(),
+            ledger: CycleLedger::default(),
+            epoch_ledger_last: CycleLedger::default(),
+            seg_scratch: Vec::new(),
             config,
         }
     }
@@ -111,8 +126,10 @@ impl<P: Probe> System<P> {
         self.epoch_samples.push(EpochSample {
             end_cycle: snap.cycles,
             delta: snap.delta_since(&self.epoch_last),
+            ledger: self.ledger.delta_since(&self.epoch_ledger_last),
         });
         self.epoch_last = snap;
+        self.epoch_ledger_last = self.ledger;
         self.epoch_next = (now / interval + 1) * interval;
     }
 
@@ -153,6 +170,65 @@ impl<P: Probe> System<P> {
         *self.clocks.iter().max().expect("cores exist")
     }
 
+    /// The cycle-attribution ledger. All zero unless the system was
+    /// built with [`SimConfig::with_cycle_ledger`]; when enabled,
+    /// `cycle_ledger().total() == metrics().cycles` at every quiescent
+    /// point (every simulated cycle is charged to exactly one
+    /// category).
+    pub fn cycle_ledger(&self) -> CycleLedger {
+        self.ledger
+    }
+
+    /// Advances the active core by `cycles` and charges the portion
+    /// that extends the *global* clock (the critical path) to `cat`.
+    /// Work overlapped by a further-ahead core charges nothing — only
+    /// increases of `now()` are booked, which is what keeps
+    /// `ledger.total()` equal to total cycles on multi-core runs.
+    #[inline]
+    fn bump(&mut self, cat: CycleCategory, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if !self.config.cycle_ledger {
+            self.clocks[self.active] += Cycles::new(cycles);
+            return;
+        }
+        let before = self.now();
+        self.clocks[self.active] += Cycles::new(cycles);
+        let after = self.now();
+        self.ledger.charge(cat, (after - before).as_u64());
+    }
+
+    /// Advances the active core to at least `done` and attributes the
+    /// critical-path extension using the segments the controller and
+    /// device recorded for this operation. Cycles no segment covers
+    /// are charged to `default`.
+    #[inline]
+    fn advance_to(&mut self, done: Cycles, default: CycleCategory) {
+        if !self.config.cycle_ledger {
+            self.clocks[self.active] = self.clocks[self.active].max(done);
+            return;
+        }
+        let before = self.now();
+        self.clocks[self.active] = self.clocks[self.active].max(done);
+        let after = self.now();
+        let mut segs = std::mem::take(&mut self.seg_scratch);
+        segs.clear();
+        self.ctrl.drain_segments_into(&mut segs);
+        attribute(before.as_u64(), after.as_u64(), &segs, default, &mut self.ledger);
+        self.seg_scratch = segs;
+    }
+
+    /// Drops segments recorded by work whose time the system charges
+    /// as a flat cost instead (MMIO doorbells, KSM fingerprint scans,
+    /// recovery), so they cannot pollute a later attribution window.
+    #[inline]
+    fn seg_discard(&mut self) {
+        if self.config.cycle_ledger {
+            self.ctrl.discard_segments();
+        }
+    }
+
     /// Kernel handle (read-only; all mutation goes through `System`).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
@@ -172,7 +248,7 @@ impl<P: Probe> System<P> {
 
     /// Creates the initial process.
     pub fn spawn_init(&mut self) -> ProcessId {
-        self.clocks[self.active] += Cycles::new(self.config.op_cost);
+        self.bump(CycleCategory::CpuOp, self.config.op_cost);
         self.kernel.spawn_init()
     }
 
@@ -197,7 +273,7 @@ impl<P: Probe> System<P> {
         len: u64,
         page_size: PageSize,
     ) -> Result<VirtAddr, OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.op_cost);
+        self.bump(CycleCategory::CpuOp, self.config.op_cost);
         self.kernel.mmap_anon(pid, len, page_size)
     }
 
@@ -208,7 +284,8 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn fork(&mut self, parent: ProcessId) -> Result<ProcessId, OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        let _prof = selfprof::scope("sim::fork");
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         let (child, actions) = self.kernel.fork(parent)?;
         // Fork write-protects every anonymous PTE: full TLB shootdown.
         self.tlb.flush_all();
@@ -230,7 +307,7 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn exit(&mut self, pid: ProcessId) -> Result<(), OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         let actions = self.kernel.exit(pid)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
@@ -245,22 +322,22 @@ impl<P: Probe> System<P> {
                 // Synchronous work the faulting CPU waits for.
                 HwAction::FlushPage { base, bytes } => {
                     let done = self.caches.flush_range(base, bytes, now, &mut self.ctrl);
-                    self.clocks[self.active] = self.clocks[self.active].max(done);
+                    self.advance_to(done, CycleCategory::CacheSram);
                 }
                 HwAction::InvalidatePage { base, bytes } => {
                     // Invalidation of a freshly allocated frame snoops
                     // mostly-absent lines; charge the directory lookups
                     // actually needed plus a fixed issue cost.
                     let resident = self.caches.invalidate_range(base, bytes);
-                    self.clocks[self.active] += Cycles::new(50 + 2 * resident);
+                    self.bump(CycleCategory::PageFault, 50 + 2 * resident);
                 }
                 HwAction::CopyPage { src, dst, bytes } => {
                     let done = self.ctrl.copy_page_bulk(src, dst, bytes, now);
-                    self.clocks[self.active] = self.clocks[self.active].max(done);
+                    self.advance_to(done, CycleCategory::BulkCopy);
                 }
                 HwAction::ZeroPage { base, bytes } => {
                     let done = self.ctrl.zero_page_bulk(base, bytes, now);
-                    self.clocks[self.active] = self.clocks[self.active].max(done);
+                    self.advance_to(done, CycleCategory::BulkCopy);
                 }
                 // MMIO commands: the CPU pays the fenced register write
                 // (paper §III-A) and moves on; the controller retires
@@ -268,19 +345,23 @@ impl<P: Probe> System<P> {
                 // keeps the time it finishes, delaying later accesses).
                 HwAction::PageInitCmd { dst } => {
                     self.ctrl.cmd_page_init(dst, now);
-                    self.clocks[self.active] += Cycles::new(self.config.controller.cmd_latency);
+                    self.seg_discard();
+                    self.bump(CycleCategory::MmioCmd, self.config.controller.cmd_latency);
                 }
                 HwAction::PageCopyCmd { src, dst } => {
                     self.ctrl.cmd_page_copy(src, dst, now);
-                    self.clocks[self.active] += Cycles::new(self.config.controller.cmd_latency);
+                    self.seg_discard();
+                    self.bump(CycleCategory::MmioCmd, self.config.controller.cmd_latency);
                 }
                 HwAction::PagePhycCmd { src, dst } => {
                     self.ctrl.cmd_page_phyc(src, dst, now);
-                    self.clocks[self.active] += Cycles::new(self.config.controller.cmd_latency);
+                    self.seg_discard();
+                    self.bump(CycleCategory::MmioCmd, self.config.controller.cmd_latency);
                 }
                 HwAction::PageFreeCmd { dst } => {
                     self.ctrl.cmd_page_free(dst, now);
-                    self.clocks[self.active] += Cycles::new(self.config.controller.cmd_latency);
+                    self.seg_discard();
+                    self.bump(CycleCategory::MmioCmd, self.config.controller.cmd_latency);
                 }
             }
         }
@@ -293,7 +374,7 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn munmap(&mut self, pid: ProcessId, vma_start: VirtAddr) -> Result<(), OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         let actions = self.kernel.munmap(pid, vma_start)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
@@ -312,7 +393,7 @@ impl<P: Probe> System<P> {
         va: VirtAddr,
         len: u64,
     ) -> Result<(), OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         let actions = self.kernel.madvise_dontneed(pid, va, len)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
@@ -331,7 +412,7 @@ impl<P: Probe> System<P> {
         vma_start: VirtAddr,
         writable: bool,
     ) -> Result<(), OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         self.kernel.mprotect(pid, vma_start, writable)?;
         self.tlb.invalidate_pid(pid);
         Ok(())
@@ -348,7 +429,8 @@ impl<P: Probe> System<P> {
         let outcome = self.tlb.lookup(pid, va);
         if let TlbOutcome::HitL1(e) | TlbOutcome::HitL2(e) = outcome {
             if kind == AccessKind::Read || e.writable {
-                self.clocks[self.active] += Cycles::new(self.tlb.charge(&outcome));
+                let charge = self.tlb.charge(&outcome);
+                self.bump(CycleCategory::Translation, charge);
                 let offset = va.as_u64() % e.size.bytes();
                 return Ok(e.pa_base + offset);
             }
@@ -357,12 +439,13 @@ impl<P: Probe> System<P> {
             self.tlb.invalidate_page(pid, va);
         } else {
             // Page walk.
-            self.clocks[self.active] += Cycles::new(self.tlb.charge(&outcome));
+            let charge = self.tlb.charge(&outcome);
+            self.bump(CycleCategory::Translation, charge);
         }
         let outcome = self.kernel.access(pid, va, kind)?;
         if let Some(fault) = &outcome.fault {
             let fault_start = self.clocks[self.active];
-            self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+            self.bump(CycleCategory::PageFault, self.config.fault_cost);
             self.tlb.invalidate_page(pid, va);
             self.execute_actions(&outcome.actions);
             if P::ENABLED {
@@ -396,20 +479,20 @@ impl<P: Probe> System<P> {
         data: Option<&[u8]>,
         len: usize,
     ) -> Result<Vec<u8>, OsError> {
-        self.clocks[self.active] += Cycles::new(self.config.op_cost);
+        self.bump(CycleCategory::CpuOp, self.config.op_cost);
         let kind = if data.is_some() { AccessKind::Write } else { AccessKind::Read };
         let pa = self.translate_timed(pid, va, kind)?;
         let result = match data {
             Some(bytes) => {
                 let now = self.clocks[self.active];
                 let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
-                self.clocks[self.active] = done;
+                self.advance_to(done, CycleCategory::CacheSram);
                 Ok(Vec::new())
             }
             None => {
                 let now = self.clocks[self.active];
                 let (bytes, done) = self.caches.load(pa, len, now, &mut self.ctrl);
-                self.clocks[self.active] = done;
+                self.advance_to(done, CycleCategory::CacheSram);
                 Ok(bytes)
             }
         };
@@ -459,7 +542,7 @@ impl<P: Probe> System<P> {
             let cur = va + offset as u64;
             let room = LINE_BYTES - cur.line_offset();
             let take = room.min(bytes.len() - offset);
-            self.clocks[self.active] += Cycles::new(self.config.op_cost);
+            self.bump(CycleCategory::CpuOp, self.config.op_cost);
             let pa = self.translate_timed(pid, cur, AccessKind::Write)?;
             // Coherence: drop any cached copy of the target line.
             self.caches.invalidate_range(pa.line_align(), LINE_BYTES as u64);
@@ -468,12 +551,12 @@ impl<P: Probe> System<P> {
                 [0u8; LINE_BYTES]
             } else {
                 let (data, t) = self.ctrl.read_data_line(pa, self.clocks[self.active]);
-                self.clocks[self.active] = t;
+                self.advance_to(t, CycleCategory::Other);
                 data
             };
             line[line_off..line_off + take].copy_from_slice(&bytes[offset..offset + take]);
             let t = self.ctrl.write_data_line(pa, line, self.clocks[self.active]);
-            self.clocks[self.active] = t;
+            self.advance_to(t, CycleCategory::Other);
             offset += take;
         }
         self.epoch_tick();
@@ -550,6 +633,7 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors (unmapped address, OOM...).
     pub fn run_batch(&mut self, pid: ProcessId, batch: &AccessBatch) -> Result<(), OsError> {
+        let _prof = selfprof::scope("sim::run_batch");
         if self.config.reference_access_path {
             return self.run_batch_reference(pid, batch);
         }
@@ -572,7 +656,7 @@ impl<P: Probe> System<P> {
                 let room = LINE_BYTES - cur.line_offset();
                 let take = room.min(len - offset);
                 let is_write = !matches!(op.kind, OpKind::Read);
-                self.clocks[self.active] += Cycles::new(self.config.op_cost);
+                self.bump(CycleCategory::CpuOp, self.config.op_cost);
                 let pa = match run {
                     Some((va_base, pa_base, page_bytes, writable))
                         if cur.as_u64().wrapping_sub(va_base) < page_bytes
@@ -599,13 +683,13 @@ impl<P: Probe> System<P> {
                 match op.kind {
                     OpKind::Read => {
                         let (_, done) = self.caches.load_line(pa, now, &mut self.ctrl);
-                        self.clocks[self.active] = done;
+                        self.advance_to(done, CycleCategory::CacheSram);
                     }
                     OpKind::Write { data_off } => {
                         let start = data_off as usize + offset;
                         let bytes = &batch.data[start..start + take];
                         let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
-                        self.clocks[self.active] = done;
+                        self.advance_to(done, CycleCategory::CacheSram);
                     }
                     OpKind::Pattern { tag } => {
                         if tag != tag_cur {
@@ -613,7 +697,7 @@ impl<P: Probe> System<P> {
                             tag_cur = tag;
                         }
                         let done = self.caches.store(pa, &tag_line[..take], now, &mut self.ctrl);
-                        self.clocks[self.active] = done;
+                        self.advance_to(done, CycleCategory::CacheSram);
                     }
                 }
                 self.epoch_tick();
@@ -652,6 +736,7 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn ksm_merge(&mut self, candidates: &[(ProcessId, VirtAddr)]) -> Result<usize, OsError> {
+        let _prof = selfprof::scope("sim::ksm_merge");
         let cands: Vec<KsmCandidate> =
             candidates.iter().map(|(pid, va)| KsmCandidate { pid: *pid, va: *va }).collect();
         let page_bytes = self.config.page_size.bytes();
@@ -665,10 +750,13 @@ impl<P: Probe> System<P> {
             }
             h.finish()
         })?;
+        // The fingerprint scan reads plaintext at `Cycles::ZERO`
+        // (untimed peek); drop its segments before the timed actions.
+        self.seg_discard();
         self.execute_actions(&report.actions);
         // Merging rewrites PTEs across processes: full shootdown.
         self.tlb.flush_all();
-        self.clocks[self.active] += Cycles::new(self.config.fault_cost);
+        self.bump(CycleCategory::PageFault, self.config.fault_cost);
         Ok(report.merged)
     }
 
@@ -689,16 +777,19 @@ impl<P: Probe> System<P> {
     pub fn crash_and_recover(
         &mut self,
     ) -> Result<lelantus_core::controller::RecoveryReport, lelantus_crypto::TamperError> {
+        let _prof = selfprof::scope("sim::crash_and_recover");
         self.caches.clear_all();
         self.tlb.flush_all();
         // Power-up costs: charge a fixed reboot window per verified
         // region (sequential counter scan at row-hit speed).
         let report = self.ctrl.crash_and_recover()?;
-        self.clocks[self.active] += Cycles::new(report.regions_verified * 15 + 10_000);
+        self.seg_discard();
+        self.bump(CycleCategory::Recovery, report.regions_verified * 15 + 10_000);
         // Volatile metadata caches restarted from zero, so interval
         // deltas across the crash would underflow; re-baseline the
         // epoch sampler at the recovery point.
         self.epoch_last = self.metrics();
+        self.epoch_ledger_last = self.ledger;
         Ok(report)
     }
 
@@ -726,12 +817,13 @@ impl<P: Probe> System<P> {
     /// Flushes CPU caches and controller buffers to the NVM array and
     /// returns final metrics. The system remains usable (caches warm).
     pub fn finish(&mut self) -> SimMetrics {
+        let _prof = selfprof::scope("sim::finish");
         self.sync_cores();
         let now = self.now();
         let t = self.caches.writeback_all(now, &mut self.ctrl);
-        self.clocks[self.active] = now.max(t);
+        self.advance_to(t, CycleCategory::CacheSram);
         let t = self.ctrl.flush_all(self.clocks[self.active]);
-        self.clocks[self.active] = self.clocks[self.active].max(t);
+        self.advance_to(t, CycleCategory::Other);
         self.sync_cores();
         let m = self.metrics();
         // Close the trailing partial epoch so the series sums to the
@@ -739,8 +831,13 @@ impl<P: Probe> System<P> {
         if let Some(intervals) = m.cycles.as_u64().checked_div(self.config.epoch_interval) {
             let delta = m.delta_since(&self.epoch_last);
             if delta != SimMetrics::default() {
-                self.epoch_samples.push(EpochSample { end_cycle: m.cycles, delta });
+                self.epoch_samples.push(EpochSample {
+                    end_cycle: m.cycles,
+                    delta,
+                    ledger: self.ledger.delta_since(&self.epoch_ledger_last),
+                });
                 self.epoch_last = m;
+                self.epoch_ledger_last = self.ledger;
             }
             self.epoch_next = (intervals + 1) * self.config.epoch_interval;
         }

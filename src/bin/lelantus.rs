@@ -11,12 +11,19 @@
 //! reductions against the baseline (a single Fig 9 column);
 //! `report` runs one workload with tracing enabled and produces the
 //! attribution story: per-event counts, latency histograms, an epoch
-//! time series, and optional JSONL / chrome://tracing exports.
+//! time series, and optional JSONL / chrome://tracing exports;
+//! `profile` runs one workload with the cycle-attribution ledger and
+//! prints the per-category overhead breakdown (optionally as
+//! flamegraph-folded stacks or a chrome trace);
+//! `bench-diff` compares two `BENCH_RESULTS.json` snapshots and exits
+//! non-zero on regression.
 
+use lelantus::bench::diff::{diff, parse_results};
 use lelantus::os::CowStrategy;
 use lelantus::sim::{
-    chrome_trace, CounterSeries, EventKind, HistKind, JsonlProbe, Probe, RingProbe, SimConfig,
-    SimMetrics, System, TeeProbe,
+    chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, EventKind,
+    HistKind, JsonlProbe, NullProbe, Probe, RingProbe, SimConfig, SimMetrics, Span, System,
+    TeeProbe,
 };
 use lelantus::types::PageSize;
 use lelantus::workloads::{
@@ -38,6 +45,9 @@ fn usage() -> ExitCode {
   lelantus compare --workload <name> [--pages 4k|2m] [--scale ...] [--json]
   lelantus report  --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
                    [--epoch <cycles>] [--ring <events>] [--events <out.jsonl>] [--trace <out.json>]
+  lelantus profile --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
+                   [--epoch <cycles>] [--folded <out.folded>] [--trace <out.json>]
+  lelantus bench-diff <baseline.json> <candidate.json> [--tolerance <frac>] [--json]
 
 workloads: {}
 schemes:   {} (default: lelantus)",
@@ -171,6 +181,21 @@ fn print_metrics_text(label: &str, m: &SimMetrics) {
     println!("  page_phyc cmds      {}", m.controller.cmd_page_phyc);
     println!("  counter overflows   {}", m.controller.minor_overflows);
     println!("  tlb walks           {}", m.tlb.walks);
+    println!(
+        "  tlb front hits      {} ({:.1}% of lookups served by the run cache)",
+        m.tlb.front_hits,
+        tlb_front_hit_rate(m) * 100.0
+    );
+}
+
+/// Fraction of TLB lookups answered by the last-translation front
+/// cache (the batched driver's run cache; a subset of L1 hits).
+fn tlb_front_hit_rate(m: &SimMetrics) -> f64 {
+    let lookups = m.tlb.l1_hits + m.tlb.l2_hits + m.tlb.walks;
+    if lookups == 0 {
+        return 0.0;
+    }
+    m.tlb.front_hits as f64 / lookups as f64
 }
 
 fn json_metrics(m: &SimMetrics) -> String {
@@ -178,7 +203,8 @@ fn json_metrics(m: &SimMetrics) -> String {
         concat!(
             "{{\"cycles\":{},\"nvm_writes\":{},\"nvm_reads\":{},\"cow_faults\":{},",
             "\"redirected_reads\":{},\"implicit_copies\":{},\"page_copy\":{},",
-            "\"page_phyc\":{},\"overflows\":{},\"tlb_walks\":{}}}"
+            "\"page_phyc\":{},\"overflows\":{},\"tlb_walks\":{},",
+            "\"tlb_front_hits\":{},\"tlb_front_hit_rate\":{:.4}}}"
         ),
         m.cycles.as_u64(),
         m.nvm.line_writes,
@@ -190,6 +216,8 @@ fn json_metrics(m: &SimMetrics) -> String {
         m.controller.cmd_page_phyc,
         m.controller.minor_overflows,
         m.tlb.walks,
+        m.tlb.front_hits,
+        tlb_front_hit_rate(m),
     )
 }
 
@@ -405,6 +433,268 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn profile(flags: &HashMap<String, String>) -> ExitCode {
+    let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
+    let Some(wl_name) = flags.get("workload") else {
+        eprintln!("error: --workload is required");
+        return usage();
+    };
+    let Some(workload) = workload_of::<NullProbe>(wl_name, scale) else {
+        eprintln!("error: unknown workload `{wl_name}`");
+        return usage();
+    };
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let Some(strategy) = scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+    else {
+        eprintln!("error: bad --scheme");
+        return usage();
+    };
+    let epoch: u64 = match flags.get("epoch").map(String::as_str).unwrap_or("100000").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: bad --epoch");
+            return usage();
+        }
+    };
+    let json = flags.contains_key("json");
+
+    selfprof::reset();
+    selfprof::enable();
+    let cfg = SimConfig::new(strategy, pages).with_cycle_ledger().with_epoch_interval(epoch);
+    let mut sys = System::new(cfg);
+    let run = workload.run(&mut sys).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    sys.finish();
+    selfprof::disable();
+    let total = sys.metrics().cycles.as_u64();
+    let ledger = sys.cycle_ledger();
+    let epochs = sys.epochs().to_vec();
+    let prof = selfprof::report();
+
+    // The ledger's defining invariant; a mismatch means a charging
+    // site was missed and the breakdown cannot be trusted.
+    let sum = ledger.total();
+    if sum != total {
+        eprintln!("error: ledger sum {sum} != total cycles {total} (attribution hole)");
+        return ExitCode::FAILURE;
+    }
+
+    // Per-category rows, largest first.
+    let mut rows: Vec<(CycleCategory, u64)> =
+        CycleCategory::ALL.iter().map(|&c| (c, ledger.get(c))).filter(|&(_, n)| n > 0).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name().cmp(b.0.name())));
+
+    if let Some(path) = flags.get("folded") {
+        // Flamegraph-folded stacks: one line per category, weight =
+        // cycles (feed to inferno/flamegraph.pl).
+        let mut doc = String::new();
+        for &(cat, n) in &rows {
+            doc.push_str(&format!("lelantus;{};{strategy};{} {n}\n", workload.name(), cat.name()));
+        }
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = flags.get("trace") {
+        // One lane per category; within each epoch the categories are
+        // laid out back-to-back (attribution is per-epoch aggregate,
+        // so the lanes tile each epoch window exactly).
+        let mut spans = Vec::new();
+        for e in &epochs {
+            let mut at = e.end_cycle.as_u64() - e.delta.cycles.as_u64();
+            for (i, &cat) in CycleCategory::ALL.iter().enumerate() {
+                let n = e.ledger.get(cat);
+                if n > 0 {
+                    spans.push(Span {
+                        name: cat.name().to_string(),
+                        tid: i as u32 + 1,
+                        start_cycle: at,
+                        dur_cycles: n,
+                    });
+                    at += n;
+                }
+            }
+        }
+        let doc = chrome_trace_with_spans(&[], &[], &spans);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if json {
+        let cats: Vec<String> = rows.iter().map(|(c, n)| format!("\"{}\":{n}", c.name())).collect();
+        let epoch_body: Vec<String> = epochs
+            .iter()
+            .map(|e| {
+                let cats: Vec<String> = CycleCategory::ALL
+                    .iter()
+                    .filter(|&&c| e.ledger.get(c) > 0)
+                    .map(|&c| format!("\"{}\":{}", c.name(), e.ledger.get(c)))
+                    .collect();
+                format!(
+                    "{{\"end_cycle\":{},\"cycles\":{},\"ledger\":{{{}}}}}",
+                    e.end_cycle.as_u64(),
+                    e.delta.cycles.as_u64(),
+                    cats.join(",")
+                )
+            })
+            .collect();
+        let prof_body: Vec<String> = prof
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"site\":\"{}\",\"calls\":{},\"total_ns\":{},\"mean_ns\":{:.1}}}",
+                    s.site,
+                    s.calls,
+                    s.total_ns,
+                    s.mean_ns()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"total_cycles\":{total},\"ledger_sum\":{sum},\"measured_cycles\":{},\"categories\":{{{}}},\"epochs\":[{}],\"selfprof\":[{}]}}",
+            workload.name(),
+            run.measured.cycles.as_u64(),
+            cats.join(","),
+            epoch_body.join(","),
+            prof_body.join(","),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} / {strategy} / {pages} pages — cycle attribution over the full run",
+        workload.name()
+    );
+    println!("  total cycles   {total} (measured interval: {})", run.measured.cycles.as_u64());
+    println!();
+    println!("  {:<16} {:>16} {:>8}", "category", "cycles", "share");
+    for &(cat, n) in &rows {
+        println!("  {:<16} {n:>16} {:>7.2}%", cat.name(), n as f64 * 100.0 / total as f64);
+    }
+    println!("  {:<16} {sum:>16} {:>7.2}%", "sum", 100.0);
+    println!("  sum check: {sum} == {total} total cycles ✓");
+    if !prof.is_empty() {
+        println!();
+        println!("  self-profiler (host wall clock):");
+        println!("  {:<24} {:>10} {:>12} {:>12}", "site", "calls", "total_ms", "mean_ns");
+        for s in &prof {
+            println!(
+                "  {:<24} {:>10} {:>12.3} {:>12.1}",
+                s.site,
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.mean_ns()
+            );
+        }
+    }
+    if let Some(path) = flags.get("folded") {
+        println!();
+        println!("folded stacks: {path} (feed to flamegraph.pl / inferno)");
+    }
+    if let Some(path) = flags.get("trace") {
+        println!("chrome trace: {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--tolerance" => {
+                let parsed = it.next().and_then(|v| v.parse::<f64>().ok());
+                match parsed {
+                    Some(t) if t >= 0.0 => tolerance = t,
+                    _ => {
+                        eprintln!("error: --tolerance needs a non-negative fraction");
+                        return usage();
+                    }
+                }
+            }
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => {
+                eprintln!("error: unexpected flag `{other}`");
+                return usage();
+            }
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        eprintln!("error: bench-diff needs exactly two results files");
+        return usage();
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => parse_results(&text),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = read(base_path);
+    let new = read(new_path);
+    let report = diff(&base, &new, tolerance);
+    let regressions = report.regressions();
+
+    if json {
+        let body: Vec<String> = report
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"key\":\"{}\",\"unit\":\"{}\",\"base\":{},\"new\":{},\"ratio\":{:.4},\"regression\":{}}}",
+                    e.key, e.unit, e.base, e.new, e.ratio, e.regression
+                )
+            })
+            .collect();
+        let list =
+            |v: &[String]| v.iter().map(|k| format!("\"{k}\"")).collect::<Vec<_>>().join(",");
+        println!(
+            "{{\"tolerance\":{tolerance},\"compared\":{},\"regressions\":{},\"entries\":[{}],\"only_base\":[{}],\"only_new\":[{}]}}",
+            report.entries.len(),
+            regressions.len(),
+            body.join(","),
+            list(&report.only_base),
+            list(&report.only_new),
+        );
+    } else {
+        println!(
+            "compared {} metric(s), tolerance ±{:.0}% — {} regression(s)",
+            report.entries.len(),
+            tolerance * 100.0,
+            regressions.len()
+        );
+        for e in &regressions {
+            println!(
+                "  REGRESSION {:<44} {:>12.3} -> {:>12.3} {} ({:.2}x)",
+                e.key, e.base, e.new, e.unit, e.ratio
+            );
+        }
+        for k in &report.only_base {
+            println!("  missing in candidate: {k}");
+        }
+        for k in &report.only_new {
+            println!("  new metric: {k}");
+        }
+    }
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -423,6 +713,14 @@ fn main() -> ExitCode {
                 usage()
             }
         },
+        "profile" => match parse_flags(&args[1..]) {
+            Ok(flags) => profile(&flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "bench-diff" => bench_diff(&args[1..]),
         "run" | "compare" => {
             let flags = match parse_flags(&args[1..]) {
                 Ok(f) => f,

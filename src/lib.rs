@@ -13,10 +13,12 @@
 //! * [`os`] — the kernel memory-management model (fork, CoW, rmap),
 //! * [`core`] — the secure memory controller and the CoW schemes,
 //! * [`sim`] — the full-system simulator,
-//! * [`workloads`] — the paper's benchmark workload generators.
+//! * [`workloads`] — the paper's benchmark workload generators,
+//! * [`bench`] — the bench harness and results tooling.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
+pub use lelantus_bench as bench;
 pub use lelantus_cache as cache;
 pub use lelantus_core as core;
 pub use lelantus_crypto as crypto;

@@ -12,8 +12,10 @@
 //!    that drifts from the stats it narrates is worse than none.
 
 use lelantus::os::CowStrategy;
-use lelantus::sim::{EventKind, HistKind, RingProbe, SimConfig, SimMetrics, System};
+use lelantus::sim::{CycleCategory, EventKind, HistKind, RingProbe, SimConfig, SimMetrics, System};
 use lelantus::types::PageSize;
+use lelantus::workloads::forkbench::Forkbench;
+use lelantus::workloads::{small_suite, Workload};
 
 const PAGE: u64 = 4096;
 const PAGES: u64 = 64;
@@ -190,5 +192,95 @@ fn epoch_series_sums_to_run_totals() {
     assert_eq!(cycles, end.cycles.as_u64());
     for pair in epochs.windows(2) {
         assert!(pair[0].end_cycle < pair[1].end_cycle, "epochs out of order");
+    }
+}
+
+/// The ledger's defining invariant: every simulated cycle is charged
+/// to exactly one category, on every workload and every scheme.
+#[test]
+fn ledger_sums_to_total_cycles_on_every_workload_and_scheme() {
+    for strategy in CowStrategy::all() {
+        for wl in small_suite() {
+            let mut sys = System::new(
+                SimConfig::new(strategy, PageSize::Regular4K)
+                    .with_phys_bytes(64 << 20)
+                    .with_cycle_ledger(),
+            );
+            wl.run(&mut sys).unwrap();
+            let m = sys.finish();
+            let ledger = sys.cycle_ledger();
+            assert_eq!(
+                ledger.total(),
+                m.cycles.as_u64(),
+                "{strategy}/{}: ledger must account for every cycle exactly once",
+                wl.name()
+            );
+        }
+    }
+}
+
+/// Per-epoch attribution reconciles both ways: each epoch's ledger
+/// sums to that epoch's cycle delta, and per-category sums over the
+/// series equal the run totals.
+#[test]
+fn epoch_ledgers_reconcile_with_run_ledger() {
+    let mut sys =
+        System::new(config(CowStrategy::Lelantus).with_epoch_interval(50_000).with_cycle_ledger());
+    drive(&mut sys);
+    let total = sys.cycle_ledger();
+    assert_eq!(total.total(), sys.metrics().cycles.as_u64());
+    let epochs = sys.epochs();
+    assert!(epochs.len() > 1, "expected several epochs, got {}", epochs.len());
+    for e in epochs {
+        assert_eq!(
+            e.ledger.total(),
+            e.delta.cycles.as_u64(),
+            "an epoch's ledger must sum to its cycle delta"
+        );
+    }
+    for cat in CycleCategory::ALL {
+        let sum: u64 = epochs.iter().map(|e| e.ledger.get(cat)).sum();
+        assert_eq!(sum, total.get(cat), "{cat:?}: epoch series drifted from the run total");
+    }
+}
+
+/// The ledger is purely observational: enabling it changes no
+/// simulated number, no probe event, and no memory contents.
+#[test]
+fn ledger_runs_are_bit_identical_to_unledgered_runs() {
+    for strategy in CowStrategy::all() {
+        let ring_off = big_ring();
+        let mut off = System::with_probe(config(strategy), ring_off.clone());
+        let m_off = drive(&mut off);
+        let ring_on = big_ring();
+        let mut on = System::with_probe(config(strategy).with_cycle_ledger(), ring_on.clone());
+        let m_on = drive(&mut on);
+        assert_eq!(m_off, m_on, "{strategy}: the ledger perturbed the simulation");
+        assert_eq!(
+            ring_off.events(),
+            ring_on.events(),
+            "{strategy}: the ledger perturbed the event stream"
+        );
+        assert_eq!(
+            off.merkle_root(),
+            on.merkle_root(),
+            "{strategy}: the ledger perturbed memory contents"
+        );
+        assert!(on.cycle_ledger().total() > 0, "{strategy}: enabled ledger recorded nothing");
+        assert_eq!(off.cycle_ledger().total(), 0, "disabled ledger must stay zero");
+    }
+    // The acceptance workload at both page sizes.
+    for page in PageSize::all() {
+        let wl = match page {
+            PageSize::Regular4K => Forkbench::small(),
+            PageSize::Huge2M => Forkbench { total_bytes: 4 << 20, bytes_per_page: None },
+        };
+        let base = SimConfig::new(CowStrategy::Lelantus, page).with_phys_bytes(64 << 20);
+        let mut off = System::new(base.clone());
+        let r_off = wl.run(&mut off).unwrap();
+        let mut on = System::new(base.with_cycle_ledger());
+        let r_on = wl.run(&mut on).unwrap();
+        assert_eq!(r_off.measured, r_on.measured, "{page}: the ledger perturbed forkbench");
+        assert_eq!(on.cycle_ledger().total(), on.metrics().cycles.as_u64(), "{page}");
     }
 }
