@@ -20,10 +20,23 @@ use std::sync::Mutex;
 
 /// Worker count: `LELANTUS_THREADS` if set, else the machine's
 /// available parallelism.
+///
+/// # Panics
+///
+/// Panics if `LELANTUS_THREADS` is set but is not a positive integer.
+/// Silently defaulting would run an N-hour sweep at the wrong width —
+/// a typo'd `LELANTUS_THREADS=O8` or a forbidden `0` must fail loudly
+/// before any cell runs.
 pub fn parallelism() -> usize {
-    match std::env::var("LELANTUS_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    match std::env::var("LELANTUS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!(
+                "LELANTUS_THREADS must be a positive integer (got {v:?}); \
+                 unset it to use all host cores"
+            ),
+        },
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     }
 }
 
@@ -149,8 +162,13 @@ mod tests {
         assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
     }
 
+    /// Serializes tests that mutate `LELANTUS_THREADS` (process-global
+    /// state; the test harness runs tests concurrently).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn run_cells_handles_empty_and_serial() {
+        let _env = ENV_LOCK.lock().unwrap();
         assert!(run_cells(0, |i| i).is_empty());
         std::env::set_var("LELANTUS_THREADS", "1");
         let out = run_cells(5, |i| i + 1);
@@ -160,7 +178,23 @@ mod tests {
 
     #[test]
     fn parallelism_is_at_least_one() {
+        let _env = ENV_LOCK.lock().unwrap();
         assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn parallelism_rejects_zero_and_garbage() {
+        let _env = ENV_LOCK.lock().unwrap();
+        for bad in ["0", "eight", "-2", "1.5", ""] {
+            std::env::set_var("LELANTUS_THREADS", bad);
+            let got = std::panic::catch_unwind(parallelism);
+            std::env::remove_var("LELANTUS_THREADS");
+            assert!(got.is_err(), "LELANTUS_THREADS={bad:?} must be rejected");
+        }
+        std::env::set_var("LELANTUS_THREADS", " 3 ");
+        let got = parallelism();
+        std::env::remove_var("LELANTUS_THREADS");
+        assert_eq!(got, 3, "whitespace-padded counts are fine");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   Shredder's zero elision cost nothing.
 
 use crate::config::{ControllerConfig, SchemeKind};
+use crate::data_plane::{DataPlaneOp, DATA_MAC_KEY, DEFERRED_MAC_TAG, MERKLE_KEY};
 use crate::footprint::{AccessDir, FootprintTracker};
 use crate::stats::ControllerStats;
 use lelantus_cache::LineBackend;
@@ -85,6 +86,9 @@ pub struct SecureMemoryController<P: Probe = NullProbe> {
     /// Cycle-attribution segments recorded while servicing requests
     /// (only when `config.cycle_ledger`; drained by the system layer).
     segments: Vec<Segment>,
+    /// Elided crypto operations, in issue order (only when
+    /// `config.defer_data_plane`; drained by the parallel engine).
+    dp_log: Vec<DataPlaneOp>,
 }
 
 impl SecureMemoryController {
@@ -110,11 +114,11 @@ impl<P: Probe> SecureMemoryController<P> {
     pub fn with_probe(config: ControllerConfig, probe: P) -> Self {
         config.validate().expect("invalid controller config");
         let layout = MetadataLayout::for_data_bytes(config.data_bytes);
-        let mut merkle = MerkleTree::new(
-            layout.regions() as usize,
-            (0x6c65_6c61_6e74_7573, 0x6973_6361_3230_3230),
-            config.merkle_cache_nodes,
-        );
+        let mut merkle =
+            MerkleTree::new(layout.regions() as usize, MERKLE_KEY, config.merkle_cache_nodes);
+        if config.defer_data_plane {
+            merkle = merkle.with_stub_hasher();
+        }
         if !config.use_eager_merkle {
             merkle = merkle.with_deferred_maintenance();
         }
@@ -132,7 +136,7 @@ impl<P: Probe> SecureMemoryController<P> {
             cow_table: CowMetaTable::new(),
             mac_cache: MacCache::new(config.mac_cache_lines.max(1)),
             mac_wc: None,
-            mac_key: SipHash24::new(0x6d61_635f_6b65_7931, 0x6d61_635f_6b65_7932),
+            mac_key: SipHash24::new(DATA_MAC_KEY.0, DATA_MAC_KEY.1),
             layout,
             initialized_regions: HashSet::new(),
             persisted_root,
@@ -141,6 +145,7 @@ impl<P: Probe> SecureMemoryController<P> {
             config,
             probe,
             segments: Vec::new(),
+            dp_log: Vec::new(),
         }
     }
 
@@ -166,6 +171,25 @@ impl<P: Probe> SecureMemoryController<P> {
     pub fn drain_segments_into(&mut self, out: &mut Vec<Segment>) {
         self.nvm.drain_segments_into(&mut self.segments);
         out.append(&mut self.segments);
+    }
+
+    /// Number of elided crypto operations waiting in the data-plane
+    /// log (always 0 unless `config.defer_data_plane`).
+    pub fn data_plane_pending(&self) -> usize {
+        self.dp_log.len()
+    }
+
+    /// Moves the logged data-plane operations into `out`, preserving
+    /// issue order. The parallel engine drains this at every epoch
+    /// barrier and fans the batch out to its shard workers.
+    pub fn drain_data_plane_into(&mut self, out: &mut Vec<DataPlaneOp>) {
+        out.append(&mut self.dp_log);
+    }
+
+    /// The metadata layout (shared with the shard workers so both
+    /// sides agree on region/MAC-slot geometry).
+    pub fn layout(&self) -> MetadataLayout {
+        self.layout
     }
 
     /// Discards recorded attribution segments. The system layer calls
@@ -356,6 +380,9 @@ impl<P: Probe> SecureMemoryController<P> {
         let bytes = block.encode_with(self.encoding(), self.codec());
         self.nvm.poke_line(self.layout.counter_addr_of_region(region), bytes);
         self.merkle.update_leaf(region as usize, &bytes);
+        if self.config.defer_data_plane {
+            self.dp_log.push(DataPlaneOp::Leaf { region, bytes });
+        }
     }
 
     /// Fetches the counter block of `region` through the counter
@@ -428,6 +455,9 @@ impl<P: Probe> SecureMemoryController<P> {
         };
         self.seg(now, t, CycleCategory::CounterFill);
         let walk = self.merkle.update_leaf(region as usize, &bytes);
+        if self.config.defer_data_plane {
+            self.dp_log.push(DataPlaneOp::Leaf { region, bytes });
+        }
         self.stats.merkle_fetches += walk.nodes_fetched;
         if P::ENABLED && walk.nodes_fetched > 0 {
             self.probe.emit(Event {
@@ -519,6 +549,13 @@ impl<P: Probe> SecureMemoryController<P> {
         major: u64,
         minor: u8,
     ) -> u64 {
+        if self.config.defer_data_plane {
+            // Shard workers recompute the real tag from the logged
+            // Store op; the constant keeps verification self-consistent
+            // (nonzero, so the stored-tag-of-0 "never written" sentinel
+            // still works).
+            return DEFERRED_MAC_TAG;
+        }
         let mut buf = [0u8; LINE_BYTES + 17];
         buf[..LINE_BYTES].copy_from_slice(cipher);
         buf[LINE_BYTES..LINE_BYTES + 8].copy_from_slice(&line_addr.as_u64().to_le_bytes());
@@ -715,12 +752,19 @@ impl<P: Probe> SecureMemoryController<P> {
         // Low priority: the pad overlaps the data fetch, so only its
         // exposed tail ends up booked as AES time.
         self.seg(t, pad_ready, CycleCategory::AesPad);
-        let iv = IvSpec {
-            line_addr: data_addr.as_u64(),
-            major: cur_block.major,
-            minor: cur_block.minors[line],
+        let plain = if self.config.defer_data_plane {
+            // Deferred mode stores plaintext: the fetched "cipher" is
+            // already the data.
+            cipher
+        } else {
+            let iv = IvSpec {
+                line_addr: data_addr.as_u64(),
+                major: cur_block.major,
+                minor: cur_block.minors[line],
+            };
+            self.engine.decrypt_line(&cipher, iv)
         };
-        (self.engine.decrypt_line(&cipher, iv), t_data.max(pad_ready).max(t_mac), hops)
+        (plain, t_data.max(pad_ready).max(t_mac), hops)
     }
 
     /// Reads the 64-byte line containing `addr` through the secure
@@ -801,9 +845,23 @@ impl<P: Probe> SecureMemoryController<P> {
             block.increment_minor(line, encoding).expect("fresh epoch cannot overflow");
         }
 
-        let iv =
-            IvSpec { line_addr: line_addr.as_u64(), major: block.major, minor: block.minors[line] };
-        let cipher = self.engine.encrypt_line(&data, iv);
+        let cipher = if self.config.defer_data_plane {
+            self.dp_log.push(DataPlaneOp::Store {
+                addr: line_addr.as_u64(),
+                plain: data,
+                major: block.major,
+                minor: block.minors[line],
+                src_region: None,
+            });
+            data
+        } else {
+            let iv = IvSpec {
+                line_addr: line_addr.as_u64(),
+                major: block.major,
+                minor: block.minors[line],
+            };
+            self.engine.encrypt_line(&data, iv)
+        };
         let t_write = self.nvm.write_line(line_addr, cipher, t);
         self.update_data_mac(line_addr, &cipher, block.major, block.minors[line], t);
         let t_meta = self.update_counter(region, block, t);
@@ -845,7 +903,20 @@ impl<P: Probe> SecureMemoryController<P> {
         // consecutive addresses: one batched pad sweep replaces 64
         // per-line engine dispatches. Device call order is unchanged.
         let base = self.line_addr(region, 0);
-        let ciphers = self.engine.copy_page(&plains, base.as_u64(), newblock.major, 1);
+        let ciphers = if self.config.defer_data_plane {
+            for (line, plain) in plains.iter().enumerate() {
+                self.dp_log.push(DataPlaneOp::Store {
+                    addr: base.as_u64() + (line * LINE_BYTES) as u64,
+                    plain: *plain,
+                    major: newblock.major,
+                    minor: 1,
+                    src_region: None,
+                });
+            }
+            plains
+        } else {
+            self.engine.copy_page(&plains, base.as_u64(), newblock.major, 1)
+        };
         for (line, cipher) in ciphers.iter().enumerate() {
             let data_addr = self.line_addr(region, line);
             done = done.max(self.nvm.write_line(data_addr, *cipher, t));
@@ -974,24 +1045,37 @@ impl<P: Probe> SecureMemoryController<P> {
         }
         let issue = t;
         let mut done = t;
-        let dbg = std::env::var("LELANTUS_DEBUG_PHYC").is_ok();
         // Every materialized line lands at (major, minor = 1) on a
         // consecutive address, so generate the pads for the whole page
         // in one sweep up front; the per-line loop below only resolves
-        // sources and XORs. Device call order is unchanged.
+        // sources and XORs. Device call order is unchanged. In defer
+        // mode there are no pads (the shard workers encrypt later), so
+        // the lookup below falls through to logging the op.
         let base = self.line_addr(dst_region, 0);
-        let pads = self.engine.page_pads(base.as_u64(), block.major, 1, MINORS);
-        for (line, pad) in pads.iter().enumerate() {
+        let pads = if self.config.defer_data_plane {
+            Vec::new()
+        } else {
+            self.engine.page_pads(base.as_u64(), block.major, 1, MINORS)
+        };
+        for line in 0..MINORS {
             if block.minors[line] != 0 {
                 continue;
             }
             let (plain, t3, _) = self.resolve_line_plain(dst_region, block, line, issue, issue);
-            if dbg {
-                eprintln!("  phyc line={line} issue={} t3={}", issue.as_u64(), t3.as_u64());
-            }
             block.minors[line] = 1;
             let data_addr = self.line_addr(dst_region, line);
-            let cipher = xor_line(&plain, pad);
+            let cipher = if let Some(pad) = pads.get(line) {
+                xor_line(&plain, pad)
+            } else {
+                self.dp_log.push(DataPlaneOp::Store {
+                    addr: data_addr.as_u64(),
+                    plain,
+                    major: block.major,
+                    minor: 1,
+                    src_region: Some(src_region),
+                });
+                plain
+            };
             // Copies proceed in parallel, bounded by bank availability
             // (§III-E: "safely done in parallel to leverage row buffers").
             done = done.max(self.nvm.write_line(data_addr, cipher, t3));
@@ -1167,9 +1251,14 @@ impl<P: Probe> SecureMemoryController<P> {
         // --- recovery: rebuild the tree from NVM ---
         let mut rebuilt = MerkleTree::new(
             self.layout.regions() as usize,
-            (0x6c65_6c61_6e74_7573, 0x6973_6361_3230_3230),
+            MERKLE_KEY,
             self.config.merkle_cache_nodes,
         );
+        if self.config.defer_data_plane {
+            // The persisted root came from the stub-hashed tree; the
+            // rebuilt tree must use the same digests to compare equal.
+            rebuilt = rebuilt.with_stub_hasher();
+        }
         let mut report = RecoveryReport::default();
         let mut regions: Vec<u64> = self.initialized_regions.iter().copied().collect();
         regions.sort_unstable();

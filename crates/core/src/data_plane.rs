@@ -1,0 +1,77 @@
+//! Deferred crypto data-plane operations for the parallel engine.
+//!
+//! The simulator's timing/control plane (counters, caches, bank timing,
+//! stats, probe events) has tight feedback loops — every completion
+//! time feeds the issuing core's clock — so it cannot be split across
+//! threads without changing results. The crypto *data* plane has no
+//! such loop: ciphertext bytes, data-MAC tags and integrity-tree
+//! digests are produced, stored and only ever compared for equality;
+//! their values never influence timing, statistics or control flow.
+//!
+//! With [`ControllerConfig::defer_data_plane`](crate::ControllerConfig)
+//! set, the controller elides that work — lines are stored as
+//! plaintext, MAC tags become the constant [`DEFERRED_MAC_TAG`], the
+//! Merkle tree runs on a cheap stub hasher — and instead appends one
+//! [`DataPlaneOp`] per elided operation to an in-order log. Shard
+//! workers drain the log at epoch barriers and redo the real AES /
+//! SipHash work, partitioned by region so each worker owns disjoint
+//! data lines, MAC slots and tree leaves.
+
+use lelantus_types::LINE_BYTES;
+
+/// Key of the Bonsai Merkle tree over counter blocks (shared between
+/// the controller and the shard workers so worker-computed leaf
+/// digests splice into the same tree).
+pub const MERKLE_KEY: (u64, u64) = (0x6c65_6c61_6e74_7573, 0x6973_6361_3230_3230);
+
+/// Key of the per-line data MACs.
+pub const DATA_MAC_KEY: (u64, u64) = (0x6d61_635f_6b65_7931, 0x6d61_635f_6b65_7932);
+
+/// Stand-in tag stored for every line while the data plane is
+/// deferred. Any nonzero constant works: a stored tag of 0 means
+/// "never written" and skips verification, so the stand-in must be
+/// nonzero, and verification then compares the stored constant against
+/// the recomputed constant.
+pub const DEFERRED_MAC_TAG: u64 = 1;
+
+/// One elided crypto operation, logged in issue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataPlaneOp {
+    /// A data line reached NVM: encrypt `plain` under
+    /// `(addr, major, minor)` and compute its data-MAC tag.
+    Store {
+        /// Line-aligned physical address of the stored line.
+        addr: u64,
+        /// Plaintext contents (what the scout stored in its place).
+        plain: [u8; LINE_BYTES],
+        /// Major counter of the line's region at store time.
+        major: u64,
+        /// Minor counter of the line at store time.
+        minor: u8,
+        /// For materializations (`page_phyc`), the chain source the
+        /// data came from — lets shards count cross-shard traffic.
+        src_region: Option<u64>,
+    },
+    /// A counter block reached NVM: recompute the keyed Merkle leaf
+    /// digest of `region` over the encoded `bytes`.
+    Leaf {
+        /// Region (= tree leaf index) whose counter block was written.
+        region: u64,
+        /// Encoded counter-block bytes as stored (these are real in
+        /// deferred mode — only the digest work is elided).
+        bytes: [u8; LINE_BYTES],
+    },
+}
+
+impl DataPlaneOp {
+    /// The region whose shard must apply this operation. Data lines,
+    /// MAC slots and the counter-block leaf of one region are co-owned
+    /// by one shard, so a region-keyed partition never splits an
+    /// operation's state across workers.
+    pub fn region(&self, region_bytes: u64) -> u64 {
+        match self {
+            DataPlaneOp::Store { addr, .. } => addr / region_bytes,
+            DataPlaneOp::Leaf { region, .. } => *region,
+        }
+    }
+}

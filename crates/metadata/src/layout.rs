@@ -114,6 +114,21 @@ impl MetadataLayout {
     pub fn metadata_bytes(&self) -> u64 {
         self.regions() * (LINE_BYTES as u64 + 8) + self.data_bytes / 8
     }
+
+    /// Shard owning `region` under a region-interleaved partition into
+    /// `shards` slices. A region's 64 data lines, its counter block
+    /// (tree leaf) and its 8 MAC lines all map to the same shard —
+    /// every per-line metadata structure is region-granular — so a
+    /// partition on this key never splits one region's state across
+    /// workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shard_of_region(&self, region: u64, shards: usize) -> usize {
+        assert!(shards > 0, "need at least one shard");
+        (region % shards as u64) as usize
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +177,20 @@ mod tests {
     fn out_of_range_address_panics() {
         let l = MetadataLayout::for_data_bytes(4096);
         l.region_of(PhysAddr::new(4096));
+    }
+
+    #[test]
+    fn shard_partition_coowns_region_metadata() {
+        let l = MetadataLayout::for_data_bytes(1 << 20);
+        assert_eq!(l.shard_of_region(0, 3), 0);
+        assert_eq!(l.shard_of_region(7, 3), 1);
+        // All 8 MAC lines of one region index back to that region: the
+        // MAC area advances 512 data bytes per MAC line, 4096 per
+        // region, so co-ownership holds by construction.
+        for line in 0..64u64 {
+            let addr = PhysAddr::new(5 * 4096 + line * 64);
+            assert_eq!(l.mac_line_index(addr) / 8, l.region_of(addr));
+        }
     }
 
     #[test]

@@ -43,12 +43,16 @@
 pub mod batch;
 pub mod config;
 pub mod metrics;
+pub mod parallel;
+pub mod shard;
 pub mod system;
 pub mod tlb;
 
 pub use batch::AccessBatch;
 pub use config::SimConfig;
 pub use metrics::{EpochSample, SimMetrics};
+pub use parallel::{ParStats, ParallelEngine, ShardReport};
+pub use shard::{ShardSet, ShardState, ShardStats};
 pub use system::{Snapshot, System};
 
 // Re-export the observability surface so downstream crates (workloads,

@@ -1,0 +1,135 @@
+//! The parallel sharded engine: a [`System`] facade that runs the
+//! crypto data plane on all host cores.
+//!
+//! [`ParallelEngine`] wraps a `System` configured via
+//! [`SimConfig::with_parallel`]: the timing/control plane executes on
+//! the calling thread exactly as the serial engine would, while the
+//! elided crypto work fans out to shard workers at epoch barriers (see
+//! [`crate::shard`]). Every observable — metrics, probe events,
+//! Merkle roots, cycle ledgers — is bit-identical to the serial
+//! engine for every worker count; the win is host wall-clock on
+//! crypto-heavy runs.
+//!
+//! The facade derefs to [`System`], so workloads run unchanged:
+//!
+//! ```
+//! use lelantus_sim::{ParallelEngine, SimConfig};
+//! use lelantus_os::CowStrategy;
+//! use lelantus_types::PageSize;
+//!
+//! let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
+//!     .with_phys_bytes(16 << 20);
+//! let mut eng = ParallelEngine::new(cfg, 2);
+//! let pid = eng.spawn_init();
+//! let va = eng.mmap(pid, 4096)?;
+//! eng.write_bytes(pid, va, &[7; 64])?;
+//! eng.finish();
+//! assert_eq!(eng.stats().workers, 2);
+//! # Ok::<(), lelantus_os::OsError>(())
+//! ```
+
+use crate::config::SimConfig;
+use crate::shard::ShardStats;
+use crate::system::System;
+use lelantus_obs::{NullProbe, Probe};
+
+/// Aggregate statistics of one parallel run (see
+/// [`System::parallel_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Shard worker count.
+    pub workers: usize,
+    /// Epoch barriers executed (dispatches that carried ops).
+    pub barriers: u64,
+    /// Data-plane ops fanned out across all barriers.
+    pub ops_dispatched: u64,
+    /// Store ops whose CoW source lives in a different shard — the
+    /// messages a distributed implementation would exchange.
+    pub cross_shard_messages: u64,
+    /// Per-shard breakdown, in stable shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+/// One shard's contribution to a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Work and host-time counters, including the per-shard host-time
+    /// ledger (AES / MAC / Merkle breakdown).
+    pub stats: ShardStats,
+    /// Ciphertext lines resident in this shard's slice.
+    pub resident_lines: usize,
+    /// Regions whose Merkle leaf this shard materialized.
+    pub regions_touched: usize,
+}
+
+/// A [`System`] that runs on the parallel sharded engine. Thin,
+/// deref-transparent wrapper; exists so call sites say what they mean
+/// and cannot forget [`SimConfig::with_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelEngine<P: Probe = NullProbe> {
+    sys: System<P>,
+}
+
+impl ParallelEngine {
+    /// Boots an unobserved parallel system with `workers` shard
+    /// workers (`workers >= 1`; the config's prior parallel setting is
+    /// overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `workers` is 0
+    /// (use [`System::new`] for the serial engine).
+    pub fn new(config: SimConfig, workers: usize) -> Self {
+        Self::with_probe(config, workers, NullProbe)
+    }
+}
+
+impl<P: Probe> ParallelEngine<P> {
+    /// Boots a probed parallel system (see [`System::with_probe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `workers` is 0.
+    pub fn with_probe(config: SimConfig, workers: usize, probe: P) -> Self {
+        assert!(workers > 0, "the parallel engine needs at least one worker");
+        Self { sys: System::with_probe(config.with_parallel(workers), probe) }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &System<P> {
+        &self.sys
+    }
+
+    /// The wrapped system, mutably.
+    pub fn system_mut(&mut self) -> &mut System<P> {
+        &mut self.sys
+    }
+
+    /// Consumes the facade, returning the system.
+    pub fn into_system(self) -> System<P> {
+        self.sys
+    }
+
+    /// Synchronizes the shard workers and reports the run's parallel
+    /// statistics (never `None` — the facade guarantees the engine).
+    pub fn stats(&mut self) -> ParStats {
+        self.sys.parallel_sync();
+        self.sys.parallel_stats().expect("facade always runs the parallel engine")
+    }
+}
+
+impl<P: Probe> std::ops::Deref for ParallelEngine<P> {
+    type Target = System<P>;
+
+    fn deref(&self) -> &System<P> {
+        &self.sys
+    }
+}
+
+impl<P: Probe> std::ops::DerefMut for ParallelEngine<P> {
+    fn deref_mut(&mut self) -> &mut System<P> {
+        &mut self.sys
+    }
+}

@@ -1,0 +1,449 @@
+//! Shard workers of the parallel sharded engine.
+//!
+//! The serial engine interleaves two planes of work on one thread:
+//!
+//! * the **timing/control plane** — counter blocks, caches, bank
+//!   timing, statistics, probe events — whose completion times feed
+//!   back into the core clocks and therefore must stay sequential, and
+//! * the **crypto data plane** — AES counter-mode encryption of stored
+//!   lines, their data-MAC tags, and Merkle leaf digests — whose
+//!   *values* never influence timing, statistics or events.
+//!
+//! The parallel engine exploits that asymmetry: the controller elides
+//! the data plane (storing plaintext, a constant MAC tag and stub tree
+//! digests) and logs every elided operation as a [`DataPlaneOp`]. A
+//! [`ShardSet`] drains that log at epoch barriers, partitions it by
+//! region ([`MetadataLayout::shard_of_region`] — a region's 64 data
+//! lines, counter leaf and 8 MAC lines all land in one shard), and
+//! fans the batches out to one scoped thread per shard. Each
+//! [`ShardState`] redoes the real cryptography into shard-private
+//! slices: a ciphertext [`LineStore`], a MAC-tag table and a Merkle
+//! leaf-digest table.
+//!
+//! Determinism: the partition preserves per-shard issue order, shards
+//! share no state, and every derived value (ciphertext, tag, digest)
+//! is a pure function of the logged op — so the merged result is
+//! bit-identical for every worker count, including the serial engine
+//! (proved by `tests/parallel_equivalence.rs`).
+
+use lelantus_core::{
+    ControllerConfig, DataPlaneOp, SecureMemoryController, DATA_MAC_KEY, MERKLE_KEY,
+};
+use lelantus_crypto::{
+    empty_leaf_digest, leaf_digest, root_over_digests, CtrEngine, IvSpec, SipHash24,
+};
+use lelantus_metadata::mac::encode_mac_line;
+use lelantus_metadata::MetadataLayout;
+use lelantus_nvm::LineStore;
+use lelantus_obs::{CycleCategory, CycleLedger, Probe};
+use lelantus_types::{PhysAddr, LINE_BYTES, REGION_BYTES};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Counters describing one shard's share of the data-plane work.
+/// `host_ns` and the ledger record *host* wall-clock time (the work
+/// the worker thread did), never simulated cycles — the simulation's
+/// clocks are untouched by the workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Ciphertext lines materialized (AES encrypts).
+    pub stores: u64,
+    /// Data-MAC tags computed.
+    pub mac_tags: u64,
+    /// Merkle leaf digests computed.
+    pub leaf_hashes: u64,
+    /// Store ops whose CoW source region belongs to a *different*
+    /// shard — the cross-shard messages a distributed implementation
+    /// would exchange at the barrier.
+    pub cross_shard: u64,
+    /// Total host nanoseconds this shard's worker spent applying ops.
+    pub host_ns: u64,
+    /// Host-time breakdown by work kind: [`CycleCategory::AesPad`]
+    /// (encryption), [`CycleCategory::Mac`] (tagging + slice insert),
+    /// [`CycleCategory::MerkleWalk`] (leaf digests) — the same
+    /// categories the serial engine books the equivalent on-path work
+    /// under, so per-shard breakdowns read like the serial ledger.
+    pub ledger: CycleLedger,
+}
+
+impl ShardStats {
+    fn merge(&mut self, other: &ShardStats) {
+        self.stores += other.stores;
+        self.mac_tags += other.mac_tags;
+        self.leaf_hashes += other.leaf_hashes;
+        self.cross_shard += other.cross_shard;
+        self.host_ns += other.host_ns;
+        self.ledger.merge(&other.ledger);
+    }
+}
+
+/// One shard: the crypto engines plus the slices of NVM state this
+/// worker owns (ciphertext lines, MAC tags, Merkle leaf digests of its
+/// regions). Plain owned data — `Clone` participates in
+/// `System::snapshot`, and `Send` lets a scoped thread borrow it.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    /// This shard's index in the set.
+    id: usize,
+    /// Total shard count (for cross-shard attribution).
+    shards: usize,
+    engine: CtrEngine,
+    mac_key: SipHash24,
+    layout: MetadataLayout,
+    /// Real ciphertext, keyed by line-aligned data address.
+    cipher: LineStore,
+    /// Real MAC tags, keyed by MAC-line index (all 8 slots of a MAC
+    /// line cover one region, so a line never splits across shards).
+    macs: HashMap<u64, [u64; 8]>,
+    /// Real Merkle leaf digests, keyed by region.
+    leaves: HashMap<u64, u64>,
+    stats: ShardStats,
+}
+
+impl ShardState {
+    fn new(id: usize, shards: usize, layout: MetadataLayout, config: &ControllerConfig) -> Self {
+        Self {
+            id,
+            shards,
+            engine: if config.use_reference_aes {
+                CtrEngine::new_reference(config.key)
+            } else {
+                CtrEngine::new(config.key)
+            },
+            mac_key: SipHash24::new(DATA_MAC_KEY.0, DATA_MAC_KEY.1),
+            layout,
+            cipher: LineStore::new(),
+            macs: HashMap::new(),
+            leaves: HashMap::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// The real tag for a ciphertext line — the exact formula
+    /// `SecureMemoryController::data_mac` elides in deferred mode.
+    fn data_mac_tag(&self, addr: u64, cipher: &[u8; LINE_BYTES], major: u64, minor: u8) -> u64 {
+        let mut buf = [0u8; LINE_BYTES + 17];
+        buf[..LINE_BYTES].copy_from_slice(cipher);
+        buf[LINE_BYTES..LINE_BYTES + 8].copy_from_slice(&addr.to_le_bytes());
+        buf[LINE_BYTES + 8..LINE_BYTES + 16].copy_from_slice(&major.to_le_bytes());
+        buf[LINE_BYTES + 16] = minor;
+        self.mac_key.hash(&buf)
+    }
+
+    /// Applies one barrier's worth of this shard's ops, in issue
+    /// order, in three phases (encrypt, MAC + insert, leaf digests) so
+    /// the per-shard ledger mirrors the serial engine's categories.
+    fn apply(&mut self, ops: &[DataPlaneOp]) {
+        // Phase 1: AES counter-mode encryption of every stored line.
+        let t0 = Instant::now();
+        let mut ciphers = Vec::with_capacity(ops.len());
+        for op in ops {
+            if let DataPlaneOp::Store { addr, plain, major, minor, .. } = op {
+                let iv = IvSpec { line_addr: *addr, major: *major, minor: *minor };
+                ciphers.push(self.engine.encrypt_line(plain, iv));
+            }
+        }
+        // Phase 2: data-MAC tags + ciphertext-slice inserts (issue
+        // order, so same-address rewrites resolve last-write-wins
+        // exactly as the serial NVM store does).
+        let t1 = Instant::now();
+        let mut next = 0usize;
+        for op in ops {
+            if let DataPlaneOp::Store { addr, major, minor, src_region, .. } = op {
+                let cipher = ciphers[next];
+                next += 1;
+                let tag = self.data_mac_tag(*addr, &cipher, *major, *minor);
+                let pa = PhysAddr::new(*addr);
+                let index = self.layout.mac_line_index(pa);
+                let (_, slot) = self.layout.mac_slot_of_line(pa);
+                self.macs.entry(index).or_insert([0; 8])[slot] = tag;
+                self.cipher.insert(*addr, cipher);
+                self.stats.stores += 1;
+                self.stats.mac_tags += 1;
+                if let Some(src) = src_region {
+                    if self.layout.shard_of_region(*src, self.shards) != self.id {
+                        self.stats.cross_shard += 1;
+                    }
+                }
+            }
+        }
+        // Phase 3: Merkle leaf digests of updated counter blocks.
+        let t2 = Instant::now();
+        for op in ops {
+            if let DataPlaneOp::Leaf { region, bytes } = op {
+                self.leaves.insert(*region, leaf_digest(MERKLE_KEY, bytes));
+                self.stats.leaf_hashes += 1;
+            }
+        }
+        let t3 = Instant::now();
+        let (aes, mac, leaf) =
+            ((t1 - t0).as_nanos() as u64, (t2 - t1).as_nanos() as u64, (t3 - t2).as_nanos() as u64);
+        self.stats.ledger.charge(CycleCategory::AesPad, aes);
+        self.stats.ledger.charge(CycleCategory::Mac, mac);
+        self.stats.ledger.charge(CycleCategory::MerkleWalk, leaf);
+        self.stats.host_ns += aes + mac + leaf;
+    }
+
+    /// This shard's counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Ciphertext lines resident in this shard's slice.
+    pub fn resident_lines(&self) -> usize {
+        self.cipher.len()
+    }
+
+    /// Regions whose Merkle leaf this shard has materialized.
+    pub fn regions_touched(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+/// The shard workers plus dispatch machinery: drains the controller's
+/// data-plane log at epoch barriers, partitions it by owning shard and
+/// applies each partition on its own scoped thread.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shards: Vec<ShardState>,
+    /// Reused per-shard partitions (cleared each barrier).
+    parts: Vec<Vec<DataPlaneOp>>,
+    /// Reused drain buffer.
+    scratch: Vec<DataPlaneOp>,
+    /// Ops buffered before a dispatch fires (`SimConfig::parallel_horizon`).
+    horizon: usize,
+    /// Number of regions in the data area (true-root reconstruction).
+    regions: u64,
+    /// Epoch barriers executed (dispatches with at least one op).
+    barriers: u64,
+    /// Total data-plane ops fanned out across all barriers.
+    ops_dispatched: u64,
+}
+
+impl ShardSet {
+    /// Builds `workers` shards sharing the controller's geometry and
+    /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (the serial engine is `System`
+    /// without a shard set, not a zero-shard set).
+    pub fn new(
+        workers: usize,
+        horizon: usize,
+        layout: MetadataLayout,
+        config: &ControllerConfig,
+    ) -> Self {
+        assert!(workers > 0, "a shard set needs at least one worker");
+        Self {
+            shards: (0..workers).map(|id| ShardState::new(id, workers, layout, config)).collect(),
+            parts: vec![Vec::new(); workers],
+            scratch: Vec::new(),
+            horizon: horizon.max(1),
+            regions: layout.regions(),
+            barriers: 0,
+            ops_dispatched: 0,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The dispatch threshold (ops buffered before a barrier fires).
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Epoch barriers executed so far.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Total ops dispatched across all barriers.
+    pub fn ops_dispatched(&self) -> u64 {
+        self.ops_dispatched
+    }
+
+    /// The shard workers (read-only; reporting).
+    pub fn shards(&self) -> &[ShardState] {
+        &self.shards
+    }
+
+    /// Union of the per-shard counters.
+    pub fn total_stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats);
+        }
+        total
+    }
+
+    /// One epoch barrier: drains the controller's data-plane log,
+    /// partitions it by owning shard (preserving issue order within
+    /// each partition) and applies every non-empty partition on its
+    /// own scoped thread. No-op when the log is empty.
+    pub fn dispatch_from<P: Probe>(&mut self, ctrl: &mut SecureMemoryController<P>) {
+        if ctrl.data_plane_pending() == 0 {
+            return;
+        }
+        ctrl.drain_data_plane_into(&mut self.scratch);
+        self.barriers += 1;
+        self.ops_dispatched += self.scratch.len() as u64;
+        let n = self.shards.len();
+        let layout = self.shards[0].layout;
+        for part in &mut self.parts {
+            part.clear();
+        }
+        for op in self.scratch.drain(..) {
+            let shard = layout.shard_of_region(op.region(REGION_BYTES), n);
+            self.parts[shard].push(op);
+        }
+        if n == 1 {
+            self.shards[0].apply(&self.parts[0]);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (shard, part) in self.shards.iter_mut().zip(&self.parts) {
+                if !part.is_empty() {
+                    scope.spawn(move || shard.apply(part));
+                }
+            }
+        });
+    }
+
+    /// The *real* Merkle root: every shard's leaf digests overlaid on
+    /// the untouched-leaf digest, rebuilt through the exact tree
+    /// construction. Stable shard order is irrelevant here — leaves
+    /// are keyed by region, and no region appears in two shards.
+    ///
+    /// Callers must dispatch pending ops first (the `System` barrier
+    /// does) or the root lags the log.
+    pub fn true_root(&self) -> u64 {
+        let mut leaves = vec![empty_leaf_digest(MERKLE_KEY); self.regions as usize];
+        for shard in &self.shards {
+            for (&region, &digest) in &shard.leaves {
+                leaves[region as usize] = digest;
+            }
+        }
+        root_over_digests(MERKLE_KEY, &leaves)
+    }
+
+    /// The real NVM contents at `addr` as materialized by the owning
+    /// shard: ciphertext for data-area lines, encoded tag lines for
+    /// MAC-area addresses. `None` when no shard has materialized the
+    /// line (never stored) or the address falls in an area the workers
+    /// do not own (counter blocks, CoW table — those stay exact on the
+    /// scout).
+    pub fn line_override(&self, addr: u64) -> Option<[u8; LINE_BYTES]> {
+        let layout = self.shards[0].layout;
+        let n = self.shards.len();
+        if addr < layout.data_bytes {
+            let shard = layout.shard_of_region(addr / REGION_BYTES, n);
+            return self.shards[shard].cipher.get(addr);
+        }
+        if addr >= layout.mac_base {
+            let index = (addr - layout.mac_base) / LINE_BYTES as u64;
+            // 8 MAC lines per region (512 data bytes each).
+            let shard = layout.shard_of_region(index / 8, n);
+            return self.shards[shard].macs.get(&index).map(encode_mac_line);
+        }
+        None
+    }
+
+    /// Every materialized data-area line as `(addr, ciphertext)`, in
+    /// address order across all shards (equivalence-test
+    /// observability).
+    pub fn materialized_lines(&self) -> Vec<(u64, [u8; LINE_BYTES])> {
+        let mut lines: Vec<(u64, [u8; LINE_BYTES])> =
+            self.shards.iter().flat_map(|s| s.cipher.iter()).collect();
+        lines.sort_unstable_by_key(|&(addr, _)| addr);
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lelantus_core::DEFERRED_MAC_TAG;
+
+    fn test_config() -> ControllerConfig {
+        let mut config = ControllerConfig::for_scheme(lelantus_core::SchemeKind::LelantusResized);
+        config.data_bytes = 16 << 20;
+        config.defer_data_plane = true;
+        config
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_order_preserving() {
+        let config = test_config();
+        let layout = MetadataLayout::for_data_bytes(config.data_bytes);
+        let ops: Vec<DataPlaneOp> = (0..64u64)
+            .map(|i| DataPlaneOp::Store {
+                addr: (i % 7) * REGION_BYTES + (i * 64) % 4096,
+                plain: [i as u8; LINE_BYTES],
+                major: 1,
+                minor: 1,
+                src_region: None,
+            })
+            .collect();
+        let run = |workers: usize| {
+            let mut set = ShardSet::new(workers, 4096, layout, &config);
+            for shard in &mut set.shards {
+                shard.apply(
+                    &ops.iter()
+                        .filter(|op| {
+                            layout.shard_of_region(op.region(REGION_BYTES), workers) == shard.id
+                        })
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                );
+            }
+            (set.true_root(), set.materialized_lines())
+        };
+        let (root1, lines1) = run(1);
+        for workers in [2, 3, 8] {
+            let (root, lines) = run(workers);
+            assert_eq!(root, root1, "{workers} workers");
+            assert_eq!(lines, lines1, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn shard_recomputes_real_mac_tags() {
+        let config = test_config();
+        let layout = MetadataLayout::for_data_bytes(config.data_bytes);
+        let mut set = ShardSet::new(2, 4096, layout, &config);
+        let addr = 3 * REGION_BYTES + 128;
+        set.shards[1].apply(&[DataPlaneOp::Store {
+            addr,
+            plain: [0xAB; LINE_BYTES],
+            major: 2,
+            minor: 5,
+            src_region: Some(0), // shard 0 owns region 0: cross-shard
+        }]);
+        let stats = set.total_stats();
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.cross_shard, 1);
+        let (mac_line_addr, slot) = layout.mac_slot_of_line(PhysAddr::new(addr));
+        let line = set.line_override(mac_line_addr.as_u64()).expect("tag materialized");
+        let tag = u64::from_le_bytes(line[slot * 8..slot * 8 + 8].try_into().unwrap());
+        assert_ne!(tag, 0, "real tag installed");
+        assert_ne!(tag, DEFERRED_MAC_TAG, "not the deferred sentinel");
+        let cipher = set.line_override(addr).expect("ciphertext materialized");
+        assert_ne!(cipher, [0xAB; LINE_BYTES], "stored encrypted, not plaintext");
+        assert_eq!(tag, set.shards[1].data_mac_tag(addr, &cipher, 2, 5));
+    }
+
+    #[test]
+    fn empty_dispatch_is_not_a_barrier() {
+        let config = test_config();
+        let layout = MetadataLayout::for_data_bytes(config.data_bytes);
+        let mut set = ShardSet::new(4, 16, layout, &config);
+        let mut ctrl = SecureMemoryController::new(config);
+        set.dispatch_from(&mut ctrl);
+        assert_eq!(set.barriers(), 0);
+        assert_eq!(set.ops_dispatched(), 0);
+    }
+}

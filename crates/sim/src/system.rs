@@ -3,6 +3,8 @@
 use crate::batch::{AccessBatch, OpKind};
 use crate::config::SimConfig;
 use crate::metrics::{EpochSample, SimMetrics};
+use crate::parallel::{ParStats, ShardReport};
+use crate::shard::ShardSet;
 use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
 use lelantus_cache::CacheHierarchy;
 use lelantus_core::SecureMemoryController;
@@ -53,6 +55,10 @@ pub struct System<P: Probe = NullProbe> {
     /// Reusable buffer for controller segments (avoids per-access
     /// allocation on the ledger path).
     seg_scratch: Vec<Segment>,
+    /// Shard workers of the parallel engine (`None` on the serial
+    /// engine). Plain owned data like everything else, so snapshots
+    /// carry the materialized shard slices along.
+    par: Option<ShardSet>,
 }
 
 impl System {
@@ -77,10 +83,19 @@ impl<P: Probe> System<P> {
     /// Panics if the configuration is inconsistent.
     pub fn with_probe(config: SimConfig, probe: P) -> Self {
         config.validate().expect("invalid sim config");
+        let ctrl = SecureMemoryController::with_probe(config.controller.clone(), probe.clone());
+        let par = (config.parallel_workers > 0).then(|| {
+            ShardSet::new(
+                config.parallel_workers,
+                config.parallel_horizon,
+                ctrl.layout(),
+                &config.controller,
+            )
+        });
         Self {
             kernel: Kernel::new(config.kernel),
             caches: CacheHierarchy::new(config.caches),
-            ctrl: SecureMemoryController::with_probe(config.controller.clone(), probe.clone()),
+            ctrl,
             tlb: Tlb::new(config.tlb),
             clocks: vec![Cycles::ZERO; 8],
             active: 0,
@@ -91,6 +106,7 @@ impl<P: Probe> System<P> {
             ledger: CycleLedger::default(),
             epoch_ledger_last: CycleLedger::default(),
             seg_scratch: Vec::new(),
+            par,
             config,
         }
     }
@@ -110,6 +126,7 @@ impl<P: Probe> System<P> {
     /// next boundary. At most one sample per call; the boundary then
     /// re-aligns to the cycle grid past the current time.
     fn epoch_tick(&mut self) {
+        self.par_tick();
         let interval = self.config.epoch_interval;
         if interval == 0 {
             return;
@@ -154,7 +171,8 @@ impl<P: Probe> System<P> {
     /// Synchronizes every core to the latest clock (a barrier — e.g.
     /// `waitpid`, or the start of a measured phase).
     pub fn sync_cores(&mut self) {
-        let max = *self.clocks.iter().max().expect("cores exist");
+        debug_assert!(!self.clocks.is_empty(), "a system always boots with cores");
+        let max = self.clocks.iter().copied().max().unwrap_or(Cycles::ZERO);
         for c in &mut self.clocks {
             *c = max;
         }
@@ -167,7 +185,8 @@ impl<P: Probe> System<P> {
 
     /// Current simulated time: the furthest-ahead core.
     pub fn now(&self) -> Cycles {
-        *self.clocks.iter().max().expect("cores exist")
+        debug_assert!(!self.clocks.is_empty(), "a system always boots with cores");
+        self.clocks.iter().copied().max().unwrap_or(Cycles::ZERO)
     }
 
     /// The cycle-attribution ledger. All zero unless the system was
@@ -241,9 +260,91 @@ impl<P: Probe> System<P> {
 
     /// The controller's current Merkle root over the counter blocks,
     /// flushing deferred maintenance first (equivalence-test
-    /// observability).
+    /// observability). On the parallel engine this is a forced epoch
+    /// barrier: pending data-plane ops dispatch, then the real root is
+    /// reconstructed from the shard workers' leaf digests — the same
+    /// value the serial engine's tree holds.
     pub fn merkle_root(&mut self) -> u64 {
-        self.ctrl.merkle_root()
+        // Flushing deferred maintenance has the same (stub-hashed)
+        // walk effects in both modes; the stub root is discarded.
+        let root = self.ctrl.merkle_root();
+        match &mut self.par {
+            Some(par) => {
+                par.dispatch_from(&mut self.ctrl);
+                par.true_root()
+            }
+            None => root,
+        }
+    }
+
+    /// Dispatches a parallel batch when the controller's data-plane
+    /// log has reached the epoch horizon. No-op on the serial engine.
+    #[inline]
+    fn par_tick(&mut self) {
+        if let Some(par) = &self.par {
+            if self.ctrl.data_plane_pending() >= par.horizon() {
+                self.par.as_mut().expect("checked above").dispatch_from(&mut self.ctrl);
+            }
+        }
+    }
+
+    /// Forces an epoch barrier: every logged data-plane op is applied
+    /// by its shard worker before this returns. No-op on the serial
+    /// engine. (Dispatching is host-side work; simulated time, stats
+    /// and events are unaffected.)
+    pub fn parallel_sync(&mut self) {
+        if let Some(par) = &mut self.par {
+            par.dispatch_from(&mut self.ctrl);
+        }
+    }
+
+    /// Parallel-engine statistics — worker count, barrier count,
+    /// cross-shard message volume and the per-shard breakdown — or
+    /// `None` on the serial engine. Synchronizes the workers first so
+    /// the report covers every issued op.
+    pub fn parallel_stats(&mut self) -> Option<ParStats> {
+        self.parallel_sync();
+        let par = self.par.as_ref()?;
+        let total = par.total_stats();
+        Some(ParStats {
+            workers: par.workers(),
+            barriers: par.barriers(),
+            ops_dispatched: par.ops_dispatched(),
+            cross_shard_messages: total.cross_shard,
+            shards: par
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardReport {
+                    shard,
+                    stats: s.stats(),
+                    resident_lines: s.resident_lines(),
+                    regions_touched: s.regions_touched(),
+                })
+                .collect(),
+        })
+    }
+
+    /// The real NVM contents at `addr` (diagnostics / equivalence
+    /// tests): on the parallel engine, shard-materialized ciphertext
+    /// or MAC lines override the scout's elided contents; everywhere
+    /// else this is the controller's raw line.
+    pub fn materialized_line(&mut self, addr: PhysAddr) -> [u8; LINE_BYTES] {
+        self.parallel_sync();
+        if let Some(par) = &self.par {
+            if let Some(line) = par.line_override(addr.as_u64()) {
+                return line;
+            }
+        }
+        self.ctrl.peek_raw_line(addr)
+    }
+
+    /// Every data-area line the parallel engine has materialized, as
+    /// `(addr, ciphertext)` in address order; empty on the serial
+    /// engine. Forces a barrier first.
+    pub fn parallel_materialized_lines(&mut self) -> Vec<(u64, [u8; LINE_BYTES])> {
+        self.parallel_sync();
+        self.par.as_ref().map(|par| par.materialized_lines()).unwrap_or_default()
     }
 
     /// Creates the initial process.
@@ -825,6 +926,10 @@ impl<P: Probe> System<P> {
         let t = self.ctrl.flush_all(self.clocks[self.active]);
         self.advance_to(t, CycleCategory::Other);
         self.sync_cores();
+        // Final epoch barrier: the flushes above may have logged more
+        // data-plane ops; the shard slices must be complete when the
+        // run's results are read.
+        self.parallel_sync();
         let m = self.metrics();
         // Close the trailing partial epoch so the series sums to the
         // run's totals.

@@ -45,8 +45,9 @@ fn usage() -> ExitCode {
   lelantus compare --workload <name> [--pages 4k|2m] [--scale ...] [--json]
   lelantus report  --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
                    [--epoch <cycles>] [--ring <events>] [--events <out.jsonl>] [--trace <out.json>]
+                   [--workers <n>]  (n > 0 runs the parallel sharded engine and reports its stats)
   lelantus profile --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
-                   [--epoch <cycles>] [--folded <out.folded>] [--trace <out.json>]
+                   [--epoch <cycles>] [--folded <out.folded>] [--trace <out.json>] [--workers <n>]
   lelantus bench-diff <baseline.json> <candidate.json> [--tolerance <frac>] [--json]
 
 workloads: {}
@@ -226,6 +227,48 @@ fn json_metrics(m: &SimMetrics) -> String {
 /// monomorphization covers both `--events` and not.
 type ReportProbe = TeeProbe<RingProbe, Option<JsonlProbe>>;
 
+/// Renders the parallel engine's run statistics (`null` for the
+/// serial engine): aggregate counts plus the per-shard breakdown with
+/// each shard's host-time ledger (AES / MAC / Merkle-walk work).
+fn par_json(par: Option<&lelantus::sim::ParStats>) -> String {
+    let Some(p) = par else { return "null".into() };
+    let shards: Vec<String> = p
+        .shards
+        .iter()
+        .map(|s| {
+            let cats: Vec<String> = CycleCategory::ALL
+                .iter()
+                .filter(|&&c| s.stats.ledger.get(c) > 0)
+                .map(|&c| format!("\"{}\":{}", c.name(), s.stats.ledger.get(c)))
+                .collect();
+            format!(
+                concat!(
+                    "{{\"shard\":{},\"stores\":{},\"mac_tags\":{},\"leaf_hashes\":{},",
+                    "\"cross_shard\":{},\"resident_lines\":{},\"regions_touched\":{},",
+                    "\"host_ns\":{},\"host_ledger_ns\":{{{}}}}}"
+                ),
+                s.shard,
+                s.stats.stores,
+                s.stats.mac_tags,
+                s.stats.leaf_hashes,
+                s.stats.cross_shard,
+                s.resident_lines,
+                s.regions_touched,
+                s.stats.host_ns,
+                cats.join(","),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workers\":{},\"barriers\":{},\"ops_dispatched\":{},\"cross_shard_messages\":{},\"shards\":[{}]}}",
+        p.workers,
+        p.barriers,
+        p.ops_dispatched,
+        p.cross_shard_messages,
+        shards.join(","),
+    )
+}
+
 fn hist_json(h: &lelantus::sim::Histogram) -> String {
     format!(
         "{{\"count\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p99\":{}}}",
@@ -270,6 +313,13 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
             return usage();
         }
     };
+    let workers: usize = match flags.get("workers").map(String::as_str).unwrap_or("0").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --workers needs a non-negative worker count (0 = serial engine)");
+            return usage();
+        }
+    };
     let jsonl = match flags.get("events") {
         Some(path) => match JsonlProbe::create(path) {
             Ok(p) => Some(p),
@@ -284,13 +334,19 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
 
     let ring = RingProbe::new(ring_cap);
     let probe = TeeProbe::new(ring.clone(), jsonl.clone());
-    let cfg = SimConfig::new(strategy, pages).with_epoch_interval(epoch);
+    let mut cfg = SimConfig::new(strategy, pages).with_epoch_interval(epoch);
+    if workers > 0 {
+        cfg = cfg.with_parallel(workers);
+    }
     let mut sys = System::with_probe(cfg, probe);
     let run = workload.run(&mut sys).unwrap_or_else(|e| {
         eprintln!("simulation failed: {e}");
         std::process::exit(1);
     });
     let m = run.measured;
+    // Syncs outstanding shard work first, so the report covers the
+    // whole run; `None` on the serial engine.
+    let par = sys.parallel_stats();
     let full = sys.metrics();
     let counts = ring.counts();
     let hists = ring.histograms();
@@ -353,10 +409,11 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
             })
             .collect();
         println!(
-            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"epochs\":[{}]}}",
+            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"epochs\":[{}]}}",
             workload.name(),
             json_metrics(&m),
             json_metrics(&full),
+            par_json(par.as_ref()),
             events.join(","),
             ring.total(),
             ring.dropped(),
@@ -388,6 +445,35 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     for (i, &n) in counts.iter().enumerate() {
         if n > 0 {
             println!("  {:<20} {n:>12}", EventKind::name_of(i));
+        }
+    }
+    if let Some(p) = &par {
+        println!();
+        println!(
+            "parallel engine: {} workers, {} epoch barriers, {} ops dispatched, \
+             {} cross-shard messages",
+            p.workers, p.barriers, p.ops_dispatched, p.cross_shard_messages
+        );
+        println!(
+            "  {:>5}  {:>10}  {:>10}  {:>10}  {:>11}  {:>8}  {:>8}  host ms (aes/mac/merkle)",
+            "shard", "stores", "mac_tags", "leaves", "cross-shard", "lines", "regions"
+        );
+        for s in &p.shards {
+            let ms = |c: CycleCategory| s.stats.ledger.get(c) as f64 / 1e6;
+            println!(
+                "  {:>5}  {:>10}  {:>10}  {:>10}  {:>11}  {:>8}  {:>8}  {:.2} ({:.2}/{:.2}/{:.2})",
+                s.shard,
+                s.stats.stores,
+                s.stats.mac_tags,
+                s.stats.leaf_hashes,
+                s.stats.cross_shard,
+                s.resident_lines,
+                s.regions_touched,
+                s.stats.host_ns as f64 / 1e6,
+                ms(CycleCategory::AesPad),
+                ms(CycleCategory::Mac),
+                ms(CycleCategory::MerkleWalk),
+            );
         }
     }
     println!();
@@ -460,10 +546,22 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let json = flags.contains_key("json");
+    let workers: usize = match flags.get("workers").map(String::as_str).unwrap_or("0").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --workers needs a non-negative worker count (0 = serial engine)");
+            return usage();
+        }
+    };
 
     selfprof::reset();
     selfprof::enable();
-    let cfg = SimConfig::new(strategy, pages).with_cycle_ledger().with_epoch_interval(epoch);
+    let mut cfg = SimConfig::new(strategy, pages).with_cycle_ledger().with_epoch_interval(epoch);
+    if workers > 0 {
+        // The sharded engine: bit-identical breakdowns, host wall
+        // clock spread across cores (see DESIGN.md §11).
+        cfg = cfg.with_parallel(workers);
+    }
     let mut sys = System::new(cfg);
     let run = workload.run(&mut sys).unwrap_or_else(|e| {
         eprintln!("simulation failed: {e}");
@@ -471,6 +569,7 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
     });
     sys.finish();
     selfprof::disable();
+    let par = sys.parallel_stats();
     let total = sys.metrics().cycles.as_u64();
     let ledger = sys.cycle_ledger();
     let epochs = sys.epochs().to_vec();
@@ -560,9 +659,10 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
             })
             .collect();
         println!(
-            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"total_cycles\":{total},\"ledger_sum\":{sum},\"measured_cycles\":{},\"categories\":{{{}}},\"epochs\":[{}],\"selfprof\":[{}]}}",
+            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"total_cycles\":{total},\"ledger_sum\":{sum},\"measured_cycles\":{},\"parallel\":{},\"categories\":{{{}}},\"epochs\":[{}],\"selfprof\":[{}]}}",
             workload.name(),
             run.measured.cycles.as_u64(),
+            par_json(par.as_ref()),
             cats.join(","),
             epoch_body.join(","),
             prof_body.join(","),
@@ -582,6 +682,13 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
     }
     println!("  {:<16} {sum:>16} {:>7.2}%", "sum", 100.0);
     println!("  sum check: {sum} == {total} total cycles ✓");
+    if let Some(p) = &par {
+        println!(
+            "  parallel engine: {} workers, {} barriers, {} ops dispatched \
+             (breakdown identical to serial by construction)",
+            p.workers, p.barriers, p.ops_dispatched
+        );
+    }
     if !prof.is_empty() {
         println!();
         println!("  self-profiler (host wall clock):");
