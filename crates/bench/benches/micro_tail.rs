@@ -1,0 +1,91 @@
+//! Performance gate for the tail-latency recorder: span recording must
+//! be cheap, and it must never perturb the simulation.
+//!
+//! The recorder sits off the fault path behind an `Option<TailRecorder>`
+//! — no probe plumbing, no cycle-ledger requirement — so enabling it
+//! should cost a bounded constant factor on a fault-heavy workload.
+//! This target first *asserts* that a recorded run is bit-identical to
+//! an unrecorded one (metrics and Merkle root both match — the recorder
+//! is purely observational), then gates the wall-clock overhead of
+//! recording at ≤1.10x the untraced run.
+
+use lelantus_bench::harness::bench;
+use lelantus_bench::results::{timed_emit, Record};
+use lelantus_os::CowStrategy;
+use lelantus_sim::{SimConfig, System};
+use lelantus_types::PageSize;
+use lelantus_workloads::{forkbench::Forkbench, Workload};
+
+fn forkbench_cycles(cfg: SimConfig) -> u64 {
+    let mut sys = System::new(cfg);
+    let run = Forkbench::small().run(&mut sys).expect("forkbench");
+    run.measured.cycles.as_u64()
+}
+
+fn main() {
+    timed_emit("micro_tail", || {
+        let mut records = Vec::new();
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
+            .with_phys_bytes(64 << 20)
+            .with_deterministic_counters();
+        let cfg_tail = cfg.clone().with_tail_recorder();
+
+        // --- correctness first: recording must not perturb the run ----
+        // Bit-identical metrics and Merkle root, asserted before any
+        // timing so a broken recorder fails loudly rather than fast.
+        let mut plain = System::new(cfg.clone());
+        let plain_run = Forkbench::small().run(&mut plain).expect("forkbench");
+        let mut tailed = System::new(cfg_tail.clone());
+        let tailed_run = Forkbench::small().run(&mut tailed).expect("forkbench");
+        assert_eq!(
+            plain_run.measured, tailed_run.measured,
+            "tail recorder changed the measured metrics; it must be purely observational"
+        );
+        assert_eq!(plain.metrics(), tailed.metrics(), "tail recorder changed the full-run metrics");
+        assert_eq!(
+            plain.merkle_root(),
+            tailed.merkle_root(),
+            "tail recorder changed the Merkle root; the memory image must be untouched"
+        );
+        let summary = tailed.tail_recorder().expect("recorder was configured on").summary();
+        assert!(summary.count > 0, "forkbench must produce fault spans to gate against");
+
+        // --- the gate: recorded ≤ 1.10x unrecorded ---------------------
+        // Three attempts: shared CI machines can land an unlucky batch,
+        // but a genuinely cheap recorder passes immediately.
+        const MAX_RATIO: f64 = 1.10;
+        let mut ratio = f64::INFINITY;
+        for attempt in 1..=3 {
+            let untraced = bench("forkbench_small_untraced", || forkbench_cycles(cfg.clone()));
+            let traced =
+                bench("forkbench_small_tail_recorded", || forkbench_cycles(cfg_tail.clone()));
+            ratio = traced.ns_per_iter / untraced.ns_per_iter;
+            println!("tail-recorded / untraced forkbench ratio: {ratio:.3} (attempt {attempt})");
+            if attempt == 1 {
+                records.push(
+                    Record::new("tail_forkbench_untraced", untraced.ns_per_iter, "ns/iter")
+                        .timed(untraced.elapsed_s),
+                );
+                records.push(
+                    Record::new("tail_forkbench_recorded", traced.ns_per_iter, "ns/iter")
+                        .timed(traced.elapsed_s),
+                );
+            }
+            if ratio <= MAX_RATIO {
+                break;
+            }
+        }
+        records.push(Record::new("tail_recorder_overhead_ratio", ratio, "x"));
+        assert!(
+            ratio <= MAX_RATIO,
+            "tail-recorded forkbench is {ratio:.3}x the untraced baseline (gate: {MAX_RATIO}x); \
+             span recording is supposed to stay off the hot path"
+        );
+
+        // --- informational: the percentiles the recorder produced ------
+        records.push(Record::new("tail_forkbench_fault_p999", summary.p999 as f64, "cycles"));
+        records.push(Record::new("tail_forkbench_fault_spans", summary.count as f64, "spans"));
+
+        records
+    });
+}

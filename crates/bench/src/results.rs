@@ -143,7 +143,9 @@ pub fn emit(bench: &str, wall_clock_s: f64, records: &[Record]) {
     if let Err(e) = fs::write(&path, out) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
-        println!("\nrecorded {} result(s) for '{bench}' in {}", records.len(), path.display());
+        // Status notice goes to stderr so callers emitting machine-readable
+        // stdout (`lelantus tail --json`) stay parseable.
+        eprintln!("\nrecorded {} result(s) for '{bench}' in {}", records.len(), path.display());
     }
 }
 

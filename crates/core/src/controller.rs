@@ -235,6 +235,12 @@ impl<P: Probe> SecureMemoryController<P> {
         self.stats
     }
 
+    /// Implicit (deferred) copies performed so far — cheap single-field
+    /// read for per-store span detection on the tail-recorder path.
+    pub fn implicit_copies(&self) -> u64 {
+        self.stats.implicit_copies
+    }
+
     /// Backing-device counters (physical reads/writes, row hits...).
     pub fn nvm_stats(&self) -> NvmStats {
         self.nvm.stats()
@@ -997,6 +1003,9 @@ impl<P: Probe> SecureMemoryController<P> {
         // Page-copy commands are a Merkle flush point: coalesce the
         // ancestor recomputations this command queued up.
         self.merkle.flush();
+        if P::ENABLED {
+            self.probe.record(HistKind::CmdServiceCycles, (done - now).as_u64());
+        }
         done
     }
 
@@ -1029,6 +1038,7 @@ impl<P: Probe> SecureMemoryController<P> {
                         accepted: false,
                     },
                 });
+                self.probe.record(HistKind::CmdServiceCycles, (t - now).as_u64());
             }
             return t;
         }
@@ -1091,6 +1101,9 @@ impl<P: Probe> SecureMemoryController<P> {
         // Page-copy commands are a Merkle flush point (see
         // `cmd_page_copy`).
         self.merkle.flush();
+        if P::ENABLED {
+            self.probe.record(HistKind::CmdServiceCycles, (done - now).as_u64());
+        }
         done
     }
 
@@ -1117,7 +1130,11 @@ impl<P: Probe> SecureMemoryController<P> {
         {
             t = self.write_cow_mapping(dst_region, None, t);
         }
-        self.update_counter(dst_region, block, t)
+        let done = self.update_counter(dst_region, block, t);
+        if P::ENABLED {
+            self.probe.record(HistKind::CmdServiceCycles, (done - now).as_u64());
+        }
+        done
     }
 
     /// Silent Shredder `page_init dst` — marks every line of the
@@ -1146,7 +1163,11 @@ impl<P: Probe> SecureMemoryController<P> {
         let (mut block, t2) = self.fetch_counter(dst_region, t);
         block.major += 1;
         block.minors = [0; MINORS];
-        self.update_counter(dst_region, block, t2)
+        let done = self.update_counter(dst_region, block, t2);
+        if P::ENABLED {
+            self.probe.record(HistKind::CmdServiceCycles, (done - now).as_u64());
+        }
+        done
     }
 
     // ------------------------------------------------------------------

@@ -23,11 +23,14 @@ pub enum HistKind {
     /// Cycles a page fault stalled the faulting core (trap plus
     /// copy/zero/command work).
     FaultServiceCycles,
+    /// Cycles an MMIO page command (init/copy/phyc/free) occupied the
+    /// controller, from acceptance to completion.
+    CmdServiceCycles,
 }
 
 impl HistKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All kinds, in index order.
     pub const ALL: [HistKind; Self::COUNT] = [
@@ -35,6 +38,7 @@ impl HistKind {
         HistKind::CopyChainDepth,
         HistKind::CounterCacheOccupancy,
         HistKind::FaultServiceCycles,
+        HistKind::CmdServiceCycles,
     ];
 
     /// Dense index.
@@ -44,6 +48,7 @@ impl HistKind {
             HistKind::CopyChainDepth => 1,
             HistKind::CounterCacheOccupancy => 2,
             HistKind::FaultServiceCycles => 3,
+            HistKind::CmdServiceCycles => 4,
         }
     }
 
@@ -54,6 +59,7 @@ impl HistKind {
             HistKind::CopyChainDepth => "copy_chain_depth",
             HistKind::CounterCacheOccupancy => "counter_cache_occupancy",
             HistKind::FaultServiceCycles => "fault_service_cycles",
+            HistKind::CmdServiceCycles => "cmd_service_cycles",
         }
     }
 }
@@ -93,10 +99,11 @@ impl Histogram {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample (all counters saturating).
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_of(value)] += 1;
-        self.count += 1;
+        let slot = &mut self.buckets[bucket_of(value)];
+        *slot = slot.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
@@ -128,14 +135,35 @@ impl Histogram {
         self.max
     }
 
-    /// Folds `other`'s samples into `self`.
+    /// Folds `other`'s samples into `self` (all counters saturating).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// Interval histogram: the samples recorded since `earlier`, an
+    /// older snapshot of this same histogram. Bucket counts subtract
+    /// exactly; the interval `max` is not recoverable from deltas, so
+    /// it is the conservative `bucket_upper` of the highest bucket
+    /// that gained samples, clamped to the running max.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        let mut highest = None;
+        for (i, (now, then)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let d = now.saturating_sub(*then);
+            out.buckets[i] = d;
+            if d > 0 {
+                highest = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = highest.map(|i| bucket_upper(i).min(self.max)).unwrap_or(0);
+        out
     }
 
     /// Occupied buckets as `(lower, upper_inclusive, count)` rows.
@@ -212,6 +240,16 @@ impl HistogramSet {
             self.hists[kind.index()].merge(other.get(kind));
         }
     }
+
+    /// Per-kind [`Histogram::delta_since`] against an older snapshot
+    /// of this same set.
+    pub fn delta_since(&self, earlier: &HistogramSet) -> HistogramSet {
+        let mut out = HistogramSet::new();
+        for kind in HistKind::ALL {
+            out.hists[kind.index()] = self.get(kind).delta_since(earlier.get(kind));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +311,71 @@ mod tests {
         assert!(s.contains("n=2"), "{s}");
         assert!(s.contains("2..3"), "{s}");
         assert_eq!(Histogram::new().to_string(), "(no samples)");
+    }
+
+    #[test]
+    fn saturating_counts_pin_at_max() {
+        let mut a = Histogram::new();
+        a.record(9);
+        a.count = u64::MAX - 1;
+        a.buckets[bucket_of(9)] = u64::MAX - 1;
+        a.sum = u64::MAX - 2;
+        let mut b = Histogram::new();
+        b.record(9);
+        b.record(9);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count, u64::MAX, "count saturates");
+        assert_eq!(a.buckets[bucket_of(9)], u64::MAX, "bucket saturates");
+        assert_eq!(a.sum, u64::MAX, "sum saturates");
+        a.record(9);
+        assert_eq!(a.count, u64::MAX, "record on a saturated histogram stays pinned");
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[0, 3, 900]), mk(&[u64::MAX, 1]), mk(&[17, 17, 64]));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_bounds_max() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let snap = h.clone();
+        h.record(100);
+        h.record(0);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 100);
+        assert_eq!(d.buckets[0], 1, "zero bucket delta");
+        assert!(d.max >= 100 && d.max <= 127, "conservative bucket-bound max, got {}", d.max);
+        let e = h.delta_since(&h);
+        assert_eq!((e.count, e.max), (0, 0), "self-delta is empty");
+        // Set-level deltas apply per kind.
+        let mut set = HistogramSet::new();
+        set.get_mut(HistKind::CmdServiceCycles).record(5);
+        let before = set.clone();
+        set.get_mut(HistKind::CmdServiceCycles).record(6);
+        set.get_mut(HistKind::WriteQueueDepth).record(1);
+        let ds = set.delta_since(&before);
+        assert_eq!(ds.get(HistKind::CmdServiceCycles).count, 1);
+        assert_eq!(ds.get(HistKind::WriteQueueDepth).count, 1);
+        assert_eq!(ds.get(HistKind::CopyChainDepth).count, 0);
     }
 
     #[test]

@@ -19,7 +19,14 @@
 //!   stamped with the simulated cycle.
 //! * [`Histogram`]/[`HistKind`] — log2-bucket distributions (write
 //!   queue depth, copy-chain depth, counter-cache occupancy, per-fault
-//!   service cycles) recorded alongside the events.
+//!   and per-command service cycles) recorded alongside the events.
+//! * [`HdrHistogram`]/[`TailSummary`] — log-linear high-resolution
+//!   histogram (32 sub-buckets per power of two) whose percentile
+//!   queries are exact to within 1/32 relative error; the backbone of
+//!   tail-latency reporting (see [`hdr`]).
+//! * [`TailRecorder`]/[`FaultSpan`]/[`FaultAction`] — per-fault span
+//!   recording with per-action histograms and a bounded top-K
+//!   worst-offender reservoir (see [`span`]).
 //! * Sinks: [`RingProbe`] (bounded in-memory ring + per-kind counts),
 //!   [`JsonlProbe`] (streaming JSONL file), [`TeeProbe`] (fan-out),
 //!   and `Option<P>` (runtime-optional sink).
@@ -49,14 +56,18 @@
 //! ```
 
 pub mod event;
+pub mod hdr;
 pub mod hist;
 pub mod ledger;
 pub mod probe;
 pub mod selfprof;
+pub mod span;
 pub mod trace;
 
 pub use event::{Event, EventKind};
+pub use hdr::{HdrHistogram, TailSummary};
 pub use hist::{HistKind, Histogram, HistogramSet};
 pub use ledger::{attribute, CycleCategory, CycleLedger, Segment};
 pub use probe::{JsonlProbe, NullProbe, Probe, RingProbe, TeeProbe};
+pub use span::{FaultAction, FaultSpan, TailRecorder};
 pub use trace::{chrome_trace, chrome_trace_with_spans, CounterSeries, Span};

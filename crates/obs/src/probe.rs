@@ -40,6 +40,14 @@ pub trait Probe: Clone + fmt::Debug {
 
     /// Records one histogram sample.
     fn record(&self, kind: HistKind, value: u64);
+
+    /// Snapshot of the histograms this probe has accumulated, if it
+    /// keeps any. Lets generic code (the epoch sampler) read
+    /// histogram state back without knowing the concrete sink type;
+    /// write-only sinks return `None`.
+    fn histogram_snapshot(&self) -> Option<HistogramSet> {
+        None
+    }
 }
 
 /// The zero-sized do-nothing probe (the default everywhere).
@@ -72,6 +80,10 @@ impl<P: Probe> Probe for Option<P> {
         if let Some(p) = self {
             p.record(kind, value);
         }
+    }
+
+    fn histogram_snapshot(&self) -> Option<HistogramSet> {
+        self.as_ref().and_then(Probe::histogram_snapshot)
     }
 }
 
@@ -170,6 +182,10 @@ impl Probe for RingProbe {
 
     fn record(&self, kind: HistKind, value: u64) {
         self.inner.borrow_mut().hists.get_mut(kind).record(value);
+    }
+
+    fn histogram_snapshot(&self) -> Option<HistogramSet> {
+        Some(self.histograms())
     }
 }
 
@@ -277,6 +293,10 @@ impl Probe for JsonlProbe {
     fn record(&self, kind: HistKind, value: u64) {
         self.inner.borrow_mut().hists.get_mut(kind).record(value);
     }
+
+    fn histogram_snapshot(&self) -> Option<HistogramSet> {
+        Some(self.histograms())
+    }
 }
 
 /// Forwards every event and sample to two probes (e.g. a ring for the
@@ -315,6 +335,10 @@ impl<A: Probe, B: Probe> Probe for TeeProbe<A, B> {
     fn record(&self, kind: HistKind, value: u64) {
         self.a.record(kind, value);
         self.b.record(kind, value);
+    }
+
+    fn histogram_snapshot(&self) -> Option<HistogramSet> {
+        self.a.histogram_snapshot().or_else(|| self.b.histogram_snapshot())
     }
 }
 
@@ -427,5 +451,20 @@ mod tests {
         assert_eq!(b.total(), 1);
         assert_eq!(b.histograms().get(HistKind::FaultServiceCycles).count, 1);
         assert!(<TeeProbe<RingProbe, RingProbe> as Probe>::ENABLED);
+    }
+
+    #[test]
+    fn histogram_snapshot_reads_back_through_any_shape() {
+        assert!(NullProbe.histogram_snapshot().is_none(), "write-only default");
+        let ring = RingProbe::new(4);
+        ring.record(HistKind::CmdServiceCycles, 42);
+        let snap = ring.histogram_snapshot().expect("ring keeps histograms");
+        assert_eq!(snap.get(HistKind::CmdServiceCycles).count, 1);
+        let opt: Option<RingProbe> = Some(ring.clone());
+        assert!(opt.histogram_snapshot().is_some());
+        let none: Option<RingProbe> = None;
+        assert!(none.histogram_snapshot().is_none());
+        let tee = TeeProbe::new(NullProbe, ring);
+        assert!(tee.histogram_snapshot().is_some(), "tee falls through to the recording branch");
     }
 }

@@ -66,6 +66,15 @@ pub struct SimConfig {
     /// batch to the shard workers (the epoch horizon). Larger batches
     /// amortize thread launch; smaller ones bound log memory.
     pub parallel_horizon: usize,
+    /// Records a `FaultSpan` per serviced fault (and per implicit
+    /// copy) into a `TailRecorder`: overall + per-action HDR latency
+    /// histograms and a top-K worst-offender reservoir. Purely
+    /// observational — a recording run is bit-identical to a disabled
+    /// one. Set via [`SimConfig::with_tail_recorder`]. Per-span cycle
+    /// breakdowns additionally need [`SimConfig::with_cycle_ledger`].
+    pub tail_recorder: bool,
+    /// Worst-offender spans the tail recorder retains (default 16).
+    pub tail_top_k: usize,
 }
 
 /// Maps the kernel-side strategy onto the controller-side scheme.
@@ -97,6 +106,8 @@ impl SimConfig {
             cycle_ledger: false,
             parallel_workers: 0,
             parallel_horizon: 4096,
+            tail_recorder: false,
+            tail_top_k: 16,
         }
     }
 
@@ -119,6 +130,21 @@ impl SimConfig {
         self.cycle_ledger = true;
         self.controller.cycle_ledger = true;
         self.controller.nvm.cycle_ledger = true;
+        self
+    }
+
+    /// Enables per-fault span recording (`System::tail_recorder`).
+    /// Deliberately does *not* force the cycle ledger on: the tail
+    /// percentiles are cheap alone, and per-span category breakdowns
+    /// appear when [`SimConfig::with_cycle_ledger`] is also set.
+    pub fn with_tail_recorder(mut self) -> Self {
+        self.tail_recorder = true;
+        self
+    }
+
+    /// Sets the tail recorder's worst-offender reservoir capacity.
+    pub fn with_tail_top_k(mut self, top_k: usize) -> Self {
+        self.tail_top_k = top_k;
         self
     }
 
@@ -259,6 +285,13 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.kernel.phys_bytes, 32 << 20);
         assert_eq!(cfg.controller.counter_cache.policy, WritePolicy::WriteThrough);
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K)
+            .with_tail_recorder()
+            .with_tail_top_k(8);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.tail_recorder);
+        assert_eq!(cfg.tail_top_k, 8);
+        assert!(!cfg.cycle_ledger, "tail recorder does not force the ledger");
     }
 
     #[test]

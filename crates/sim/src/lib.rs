@@ -60,6 +60,6 @@ pub use system::{Snapshot, System};
 // directly.
 pub use lelantus_obs::{
     chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, CycleLedger,
-    Event, EventKind, HistKind, Histogram, HistogramSet, JsonlProbe, NullProbe, Probe, RingProbe,
-    Span, TeeProbe,
+    Event, EventKind, FaultAction, FaultSpan, HdrHistogram, HistKind, Histogram, HistogramSet,
+    JsonlProbe, NullProbe, Probe, RingProbe, Span, TailRecorder, TailSummary, TeeProbe,
 };

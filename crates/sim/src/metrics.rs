@@ -6,7 +6,7 @@ use lelantus_core::ControllerStats;
 use lelantus_metadata::counter_cache::CounterCacheStats;
 use lelantus_metadata::cow_meta::CowCacheStats;
 use lelantus_nvm::NvmStats;
-use lelantus_obs::CycleLedger;
+use lelantus_obs::{CycleLedger, HistogramSet, TailSummary};
 use lelantus_os::kernel::KernelStats;
 use lelantus_types::Cycles;
 
@@ -76,7 +76,7 @@ impl SimMetrics {
 
 /// One epoch of the time series the epoch sampler produces: the
 /// interval metrics for `(end_cycle - delta.cycles, end_cycle]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EpochSample {
     /// Simulated cycle the epoch closed at.
     pub end_cycle: Cycles,
@@ -86,6 +86,13 @@ pub struct EpochSample {
     /// `SimConfig::with_cycle_ledger`; sums to `delta.cycles` when
     /// enabled).
     pub ledger: CycleLedger,
+    /// Per-kind histogram deltas for the epoch (queue depth, fault
+    /// service cycles, ...). Empty unless a recording probe (ring or
+    /// JSONL) is attached — `NullProbe` runs carry all-zero sets.
+    pub hists: HistogramSet,
+    /// Tail-latency percentile summary of the fault spans recorded in
+    /// this epoch (all zero unless `SimConfig::with_tail_recorder`).
+    pub tail: TailSummary,
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@ use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
 use lelantus_cache::CacheHierarchy;
 use lelantus_core::SecureMemoryController;
 use lelantus_obs::{
-    attribute, selfprof, CycleCategory, CycleLedger, Event, EventKind, HistKind, NullProbe, Probe,
-    Segment,
+    attribute, selfprof, CycleCategory, CycleLedger, Event, EventKind, FaultAction, FaultSpan,
+    HdrHistogram, HistKind, HistogramSet, NullProbe, Probe, Segment, TailRecorder,
 };
 use lelantus_os::kernel::{AccessKind, FaultKind, HwAction, Kernel, ProcessId};
 use lelantus_os::ksm::{merge_pass, KsmCandidate};
@@ -52,6 +52,16 @@ pub struct System<P: Probe = NullProbe> {
     ledger: CycleLedger,
     /// Ledger snapshot at the last epoch boundary (for epoch deltas).
     epoch_ledger_last: CycleLedger,
+    /// Per-fault span recorder (`None` unless
+    /// `SimConfig::with_tail_recorder`). Lives on the sequential
+    /// timing plane, so it works unchanged under `with_parallel(n)`.
+    tail: Option<TailRecorder>,
+    /// Probe-histogram snapshot at the last epoch boundary (for the
+    /// per-epoch `HistogramSet` deltas).
+    epoch_hists_last: HistogramSet,
+    /// Tail-histogram snapshot at the last epoch boundary (for the
+    /// per-epoch percentile series).
+    epoch_tail_last: HdrHistogram,
     /// Reusable buffer for controller segments (avoids per-access
     /// allocation on the ledger path).
     seg_scratch: Vec<Segment>,
@@ -105,10 +115,19 @@ impl<P: Probe> System<P> {
             epoch_samples: Vec::new(),
             ledger: CycleLedger::default(),
             epoch_ledger_last: CycleLedger::default(),
+            tail: config.tail_recorder.then(|| TailRecorder::new(config.tail_top_k)),
+            epoch_hists_last: HistogramSet::default(),
+            epoch_tail_last: HdrHistogram::default(),
             seg_scratch: Vec::new(),
             par,
             config,
         }
+    }
+
+    /// The per-fault tail recorder (`None` unless the system was built
+    /// with [`SimConfig::with_tail_recorder`]).
+    pub fn tail_recorder(&self) -> Option<&TailRecorder> {
+        self.tail.as_ref()
     }
 
     /// The probe this system reports to.
@@ -140,14 +159,42 @@ impl<P: Probe> System<P> {
         // (host-side only; the snapshot below is unaffected).
         self.ctrl.flush_metadata();
         let snap = self.metrics();
+        self.take_epoch_sample(snap);
+        self.epoch_next = (now / interval + 1) * interval;
+    }
+
+    /// Current probe-side histogram totals (empty on non-recording
+    /// probes; compiles away entirely under `NullProbe`).
+    fn probe_hists(&self) -> HistogramSet {
+        if P::ENABLED {
+            self.probe.histogram_snapshot().unwrap_or_default()
+        } else {
+            HistogramSet::default()
+        }
+    }
+
+    /// Current tail-recorder totals (empty when recording is off).
+    fn tail_hist(&self) -> HdrHistogram {
+        self.tail.as_ref().map(|t| t.histogram().clone()).unwrap_or_default()
+    }
+
+    /// Closes one epoch at `snap`: pushes the interval sample and
+    /// re-baselines every delta source (metrics, ledger, probe
+    /// histograms, tail histogram).
+    fn take_epoch_sample(&mut self, snap: SimMetrics) {
+        let hists_now = self.probe_hists();
+        let tail_now = self.tail_hist();
         self.epoch_samples.push(EpochSample {
             end_cycle: snap.cycles,
             delta: snap.delta_since(&self.epoch_last),
             ledger: self.ledger.delta_since(&self.epoch_ledger_last),
+            hists: hists_now.delta_since(&self.epoch_hists_last),
+            tail: tail_now.delta_since(&self.epoch_tail_last).summary(),
         });
         self.epoch_last = snap;
         self.epoch_ledger_last = self.ledger;
-        self.epoch_next = (now / interval + 1) * interval;
+        self.epoch_hists_last = hists_now;
+        self.epoch_tail_last = tail_now;
     }
 
     /// Selects the core that issues subsequent operations (0..=7).
@@ -546,6 +593,10 @@ impl<P: Probe> System<P> {
         let outcome = self.kernel.access(pid, va, kind)?;
         if let Some(fault) = &outcome.fault {
             let fault_start = self.clocks[self.active];
+            // Ledger prefix at fault entry: the span's breakdown is the
+            // ledger growth across the fault (zero unless the cycle
+            // ledger is enabled alongside the recorder).
+            let tail_ledger_before = self.tail.as_ref().map(|_| self.ledger);
             self.bump(CycleCategory::PageFault, self.config.fault_cost);
             self.tlb.invalidate_page(pid, va);
             self.execute_actions(&outcome.actions);
@@ -565,11 +616,59 @@ impl<P: Probe> System<P> {
                 self.probe.emit(Event { cycle: end, kind });
                 self.probe.record(HistKind::FaultServiceCycles, (end - fault_start).as_u64());
             }
+            if let Some(ledger_before) = tail_ledger_before {
+                let end = self.clocks[self.active];
+                let span = FaultSpan {
+                    start: fault_start.as_u64(),
+                    end: end.as_u64(),
+                    pid,
+                    va: va.as_u64(),
+                    pa: outcome.pa.as_u64(),
+                    action: classify_fault(fault, &outcome.actions),
+                    ledger: self.ledger.delta_since(&ledger_before),
+                };
+                self.tail.as_mut().expect("prefix captured only when recording").record(span);
+            }
         }
         if let Some((pa_base, size, writable)) = self.kernel.pte_info(pid, va) {
             self.tlb.fill(pid, va, TlbEntry { pa_base, size, writable });
         }
         Ok(outcome.pa)
+    }
+
+    /// Snapshot taken before a store when the tail recorder is on:
+    /// `(start cycle, implicit copies so far, ledger prefix)`. `None`
+    /// (the usual case) costs one branch.
+    #[inline]
+    fn tail_store_ctx(&self) -> Option<(Cycles, u64, CycleLedger)> {
+        self.tail.as_ref()?;
+        Some((self.clocks[self.active], self.ctrl.implicit_copies(), self.ledger))
+    }
+
+    /// Records an [`FaultAction::ImplicitCopy`] span if the store that
+    /// just completed triggered deferred copies at the controller —
+    /// the cost Lelantus moves from fault time to first-write time.
+    fn tail_store_span(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        pa: PhysAddr,
+        ctx: (Cycles, u64, CycleLedger),
+    ) {
+        let (start, imp_before, ledger_before) = ctx;
+        if self.ctrl.implicit_copies() == imp_before {
+            return;
+        }
+        let span = FaultSpan {
+            start: start.as_u64(),
+            end: self.clocks[self.active].as_u64(),
+            pid,
+            va: va.as_u64(),
+            pa: pa.as_u64(),
+            action: FaultAction::ImplicitCopy,
+            ledger: self.ledger.delta_since(&ledger_before),
+        };
+        self.tail.as_mut().expect("ctx captured only when recording").record(span);
     }
 
     /// One CPU memory access covering at most one cacheline.
@@ -586,8 +685,12 @@ impl<P: Probe> System<P> {
         let result = match data {
             Some(bytes) => {
                 let now = self.clocks[self.active];
+                let tail_ctx = self.tail_store_ctx();
                 let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
                 self.advance_to(done, CycleCategory::CacheSram);
+                if let Some(ctx) = tail_ctx {
+                    self.tail_store_span(pid, va, pa, ctx);
+                }
                 Ok(Vec::new())
             }
             None => {
@@ -645,6 +748,7 @@ impl<P: Probe> System<P> {
             let take = room.min(bytes.len() - offset);
             self.bump(CycleCategory::CpuOp, self.config.op_cost);
             let pa = self.translate_timed(pid, cur, AccessKind::Write)?;
+            let tail_ctx = self.tail_store_ctx();
             // Coherence: drop any cached copy of the target line.
             self.caches.invalidate_range(pa.line_align(), LINE_BYTES as u64);
             let line_off = pa.line_offset();
@@ -658,6 +762,9 @@ impl<P: Probe> System<P> {
             line[line_off..line_off + take].copy_from_slice(&bytes[offset..offset + take]);
             let t = self.ctrl.write_data_line(pa, line, self.clocks[self.active]);
             self.advance_to(t, CycleCategory::Other);
+            if let Some(ctx) = tail_ctx {
+                self.tail_store_span(pid, cur, pa, ctx);
+            }
             offset += take;
         }
         self.epoch_tick();
@@ -789,16 +896,24 @@ impl<P: Probe> System<P> {
                     OpKind::Write { data_off } => {
                         let start = data_off as usize + offset;
                         let bytes = &batch.data[start..start + take];
+                        let tail_ctx = self.tail_store_ctx();
                         let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
                         self.advance_to(done, CycleCategory::CacheSram);
+                        if let Some(ctx) = tail_ctx {
+                            self.tail_store_span(pid, cur, pa, ctx);
+                        }
                     }
                     OpKind::Pattern { tag } => {
                         if tag != tag_cur {
                             tag_line = [tag; LINE_BYTES];
                             tag_cur = tag;
                         }
+                        let tail_ctx = self.tail_store_ctx();
                         let done = self.caches.store(pa, &tag_line[..take], now, &mut self.ctrl);
                         self.advance_to(done, CycleCategory::CacheSram);
+                        if let Some(ctx) = tail_ctx {
+                            self.tail_store_span(pid, cur, pa, ctx);
+                        }
                     }
                 }
                 self.epoch_tick();
@@ -888,9 +1003,14 @@ impl<P: Probe> System<P> {
         self.bump(CycleCategory::Recovery, report.regions_verified * 15 + 10_000);
         // Volatile metadata caches restarted from zero, so interval
         // deltas across the crash would underflow; re-baseline the
-        // epoch sampler at the recovery point.
+        // epoch sampler at the recovery point. Histogram and tail
+        // baselines move with it so every later epoch window is
+        // internally consistent (the crash-spanning window is skipped,
+        // exactly like the metrics deltas).
         self.epoch_last = self.metrics();
         self.epoch_ledger_last = self.ledger;
+        self.epoch_hists_last = self.probe_hists();
+        self.epoch_tail_last = self.tail_hist();
         Ok(report)
     }
 
@@ -936,13 +1056,7 @@ impl<P: Probe> System<P> {
         if let Some(intervals) = m.cycles.as_u64().checked_div(self.config.epoch_interval) {
             let delta = m.delta_since(&self.epoch_last);
             if delta != SimMetrics::default() {
-                self.epoch_samples.push(EpochSample {
-                    end_cycle: m.cycles,
-                    delta,
-                    ledger: self.ledger.delta_since(&self.epoch_ledger_last),
-                });
-                self.epoch_last = m;
-                self.epoch_ledger_last = self.ledger;
+                self.take_epoch_sample(m);
             }
             self.epoch_next = (intervals + 1) * self.config.epoch_interval;
         }
@@ -967,6 +1081,29 @@ impl<P: Probe> System<P> {
     /// hold the `System` in place.
     pub fn restore(&mut self, snapshot: &Snapshot<P>) {
         *self = snapshot.state.clone();
+    }
+}
+
+/// Maps a kernel fault and the hardware actions it produced onto the
+/// scheme-action taxonomy the tail recorder reports: a CoW fault
+/// resolved through an MMIO copy/phyc command is Lelantus's lazy path,
+/// one resolved by data movement alone is an eager copy, and a
+/// zero-source fault is a demand-zero allocation.
+fn classify_fault(fault: &FaultKind, actions: &[HwAction]) -> FaultAction {
+    match fault {
+        FaultKind::CowCopy { from_zero: true, .. } => FaultAction::DemandZero,
+        FaultKind::CowCopy { .. } => {
+            let lazy = actions
+                .iter()
+                .any(|a| matches!(a, HwAction::PageCopyCmd { .. } | HwAction::PagePhycCmd { .. }));
+            if lazy {
+                FaultAction::LazyCow
+            } else {
+                FaultAction::EagerCopy
+            }
+        }
+        FaultKind::WpReuse => FaultAction::Reuse,
+        FaultKind::EarlyReclaim { .. } => FaultAction::EarlyReclaim,
     }
 }
 

@@ -15,15 +15,19 @@
 //! `profile` runs one workload with the cycle-attribution ledger and
 //! prints the per-category overhead breakdown (optionally as
 //! flamegraph-folded stacks or a chrome trace);
+//! `tail` sweeps every paper workload across all schemes with the
+//! per-fault span recorder and reports p50/p99/p999 fault latency
+//! (recorded into `BENCH_RESULTS.json`);
 //! `bench-diff` compares two `BENCH_RESULTS.json` snapshots and exits
 //! non-zero on regression.
 
 use lelantus::bench::diff::{diff, parse_results};
+use lelantus::bench::results::{emit, Record};
 use lelantus::os::CowStrategy;
 use lelantus::sim::{
-    chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, EventKind,
-    HistKind, JsonlProbe, NullProbe, Probe, RingProbe, SimConfig, SimMetrics, Span, System,
-    TeeProbe,
+    chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, CycleLedger,
+    EpochSample, EventKind, FaultAction, HistKind, JsonlProbe, NullProbe, Probe, RingProbe,
+    SimConfig, SimMetrics, Span, System, TailRecorder, TailSummary, TeeProbe,
 };
 use lelantus::types::PageSize;
 use lelantus::workloads::{
@@ -46,8 +50,13 @@ fn usage() -> ExitCode {
   lelantus report  --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
                    [--epoch <cycles>] [--ring <events>] [--events <out.jsonl>] [--trace <out.json>]
                    [--workers <n>]  (n > 0 runs the parallel sharded engine and reports its stats)
+                   [--tail]  (per-fault span recording: percentiles, per-action breakdown,
+                              worst offenders, per-epoch tail series)
   lelantus profile --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
                    [--epoch <cycles>] [--folded <out.folded>] [--trace <out.json>] [--workers <n>]
+  lelantus tail    [--pages 4k|2m] [--scale ...] [--workers <n>] [--json] [--top-k <n>]
+                   (fig11-style sweep: p50/p99/p999 fault latency for every paper workload x
+                    scheme; records into BENCH_RESULTS.json)
   lelantus bench-diff <baseline.json> <candidate.json> [--tolerance <frac>] [--json]
 
 workloads: {}
@@ -65,8 +74,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        if key == "json" {
-            flags.insert("json".into(), "true".into());
+        if key == "json" || key == "tail" {
+            flags.insert(key.to_string(), "true".into());
             continue;
         }
         let Some(value) = it.next() else {
@@ -280,6 +289,172 @@ fn hist_json(h: &lelantus::sim::Histogram) -> String {
     )
 }
 
+fn tail_summary_json(s: &TailSummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+        s.count,
+        s.mean(),
+        s.max,
+        s.p50,
+        s.p90,
+        s.p99,
+        s.p999,
+    )
+}
+
+fn ledger_json(l: &CycleLedger) -> String {
+    let cats: Vec<String> = CycleCategory::ALL
+        .iter()
+        .filter(|&&c| l.get(c) > 0)
+        .map(|&c| format!("\"{}\":{}", c.name(), l.get(c)))
+        .collect();
+    format!("{{{}}}", cats.join(","))
+}
+
+/// Renders the tail recorder's state (`null` when `--tail` is off so
+/// the JSON schema stays stable): overall summary, one summary per
+/// action (all six keys always present), the worst-offender exemplars
+/// with their per-span cycle breakdown, and the per-epoch percentile +
+/// queue-depth time series.
+fn tail_json(tail: Option<&TailRecorder>, epochs: &[EpochSample]) -> String {
+    let Some(t) = tail else { return "null".into() };
+    let actions: Vec<String> = FaultAction::ALL
+        .iter()
+        .map(|&a| {
+            format!("\"{}\":{}", a.name(), tail_summary_json(&t.action_histogram(a).summary()))
+        })
+        .collect();
+    let worst: Vec<String> = t
+        .worst()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"latency\":{},\"start\":{},\"end\":{},\"pid\":{},\"va\":{},\"pa\":{},\"action\":\"{}\",\"ledger\":{}}}",
+                s.latency(),
+                s.start,
+                s.end,
+                s.pid,
+                s.va,
+                s.pa,
+                s.action.name(),
+                ledger_json(&s.ledger),
+            )
+        })
+        .collect();
+    let series: Vec<String> = epochs
+        .iter()
+        .map(|e| {
+            let q = e.hists.get(HistKind::WriteQueueDepth);
+            format!(
+                "{{\"end_cycle\":{},\"spans\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\"queue_depth_p99\":{},\"queue_depth_max\":{}}}",
+                e.end_cycle.as_u64(),
+                e.tail.count,
+                e.tail.p50,
+                e.tail.p99,
+                e.tail.p999,
+                e.tail.max,
+                q.quantile_bound(0.99),
+                q.max,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"top_k\":{},\"summary\":{},\"actions\":{{{}}},\"worst\":[{}],\"epochs\":[{}]}}",
+        t.top_k(),
+        tail_summary_json(&t.summary()),
+        actions.join(","),
+        worst.join(","),
+        series.join(","),
+    )
+}
+
+/// Human rendering of the tail recorder: per-action percentile table,
+/// worst-offender exemplars, and the per-epoch tail / queue-depth
+/// series.
+fn print_tail_text(t: &TailRecorder, epochs: &[EpochSample]) {
+    println!();
+    println!("tail latency (cycles per fault span):");
+    println!(
+        "  {:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "action", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    let row = |label: &str, s: &TailSummary| {
+        println!(
+            "  {:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            label, s.count, s.p50, s.p90, s.p99, s.p999, s.max
+        );
+    };
+    row("overall", &t.summary());
+    for action in FaultAction::ALL {
+        let s = t.action_histogram(action).summary();
+        if s.count > 0 {
+            row(action.name(), &s);
+        }
+    }
+    if !t.worst().is_empty() {
+        println!();
+        println!("worst offenders (top {}):", t.worst().len());
+        println!(
+            "  {:>9}  {:<14} {:>5} {:>14} {:>14}  breakdown",
+            "latency", "action", "pid", "va", "pa"
+        );
+        for s in t.worst() {
+            // The two biggest ledger categories tell the story; the
+            // JSON output carries the full breakdown.
+            let mut cats: Vec<(lelantus::sim::CycleCategory, u64)> = CycleCategory::ALL
+                .iter()
+                .map(|&c| (c, s.ledger.get(c)))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            cats.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            let breakdown = if cats.is_empty() {
+                "(enable --tail with profile/ledger for per-span cycles)".into()
+            } else {
+                cats.iter()
+                    .take(2)
+                    .map(|(c, n)| format!("{}={n}", c.name()))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            println!(
+                "  {:>9}  {:<14} {:>5} {:>14x} {:>14x}  {breakdown}",
+                s.latency(),
+                s.action.name(),
+                s.pid,
+                s.va,
+                s.pa,
+            );
+        }
+    }
+    let active: Vec<&EpochSample> = epochs.iter().filter(|e| e.tail.count > 0).collect();
+    if !active.is_empty() {
+        const SHOWN: usize = 12;
+        println!();
+        println!(
+            "tail per epoch ({} epochs with spans, showing first {}):",
+            active.len(),
+            SHOWN.min(active.len())
+        );
+        println!(
+            "  {:>14} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10}",
+            "end_cycle", "spans", "p50", "p99", "p999", "queue_p99", "queue_max"
+        );
+        for e in active.iter().take(SHOWN) {
+            let q = e.hists.get(HistKind::WriteQueueDepth);
+            println!(
+                "  {:>14} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10}",
+                e.end_cycle.as_u64(),
+                e.tail.count,
+                e.tail.p50,
+                e.tail.p99,
+                e.tail.p999,
+                q.quantile_bound(0.99),
+                q.max,
+            );
+        }
+    }
+}
+
 fn report(flags: &HashMap<String, String>) -> ExitCode {
     let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
     let Some(wl_name) = flags.get("workload") else {
@@ -331,12 +506,18 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
         None => None,
     };
     let json = flags.contains_key("json");
+    let tail_enabled = flags.contains_key("tail");
 
     let ring = RingProbe::new(ring_cap);
     let probe = TeeProbe::new(ring.clone(), jsonl.clone());
     let mut cfg = SimConfig::new(strategy, pages).with_epoch_interval(epoch);
     if workers > 0 {
         cfg = cfg.with_parallel(workers);
+    }
+    if tail_enabled {
+        // The ledger rides along so each worst-offender span carries a
+        // per-category cycle breakdown.
+        cfg = cfg.with_tail_recorder().with_cycle_ledger();
     }
     let mut sys = System::with_probe(cfg, probe);
     let run = workload.run(&mut sys).unwrap_or_else(|e| {
@@ -348,6 +529,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     // whole run; `None` on the serial engine.
     let par = sys.parallel_stats();
     let full = sys.metrics();
+    let tail = sys.tail_recorder().cloned();
     let counts = ring.counts();
     let hists = ring.histograms();
     let epochs = sys.epochs().to_vec();
@@ -385,13 +567,13 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     if json {
+        // Every kind appears with an explicit (possibly zero) count so
+        // downstream diffing sees a stable key set run-over-run.
         let events: Vec<String> = (0..EventKind::COUNT)
-            .filter(|&i| counts[i] > 0)
             .map(|i| format!("\"{}\":{}", EventKind::name_of(i), counts[i]))
             .collect();
         let hist_body: Vec<String> = HistKind::ALL
             .iter()
-            .filter(|k| hists.get(**k).count > 0)
             .map(|k| format!("\"{}\":{}", k.name(), hist_json(hists.get(*k))))
             .collect();
         let epoch_body: Vec<String> = epochs
@@ -409,7 +591,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
             })
             .collect();
         println!(
-            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"epochs\":[{}]}}",
+            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"tail\":{},\"epochs\":[{}]}}",
             workload.name(),
             json_metrics(&m),
             json_metrics(&full),
@@ -418,6 +600,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
             ring.total(),
             ring.dropped(),
             hist_body.join(","),
+            tail_json(tail.as_ref(), &epochs),
             epoch_body.join(","),
         );
         return ExitCode::SUCCESS;
@@ -508,6 +691,9 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
                 e.delta.controller.counter_fetches,
             );
         }
+    }
+    if let Some(t) = &tail {
+        print_tail_text(t, &epochs);
     }
     if let Some(p) = &jsonl {
         println!();
@@ -802,6 +988,106 @@ fn bench_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lelantus tail`: the fig11-style tail sweep — every paper workload
+/// on every scheme with the span recorder on, reporting p50/p99/p999
+/// fault-service latency and recording the percentiles into
+/// `BENCH_RESULTS.json` for bench-diff gating.
+fn tail_sweep(flags: &HashMap<String, String>) -> ExitCode {
+    const PAPER_WORKLOADS: &[&str] = &["boot", "compile", "forkbench", "redis", "mariadb", "shell"];
+    let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let workers: usize = match flags.get("workers").map(String::as_str).unwrap_or("0").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --workers needs a non-negative worker count (0 = serial engine)");
+            return usage();
+        }
+    };
+    let top_k: usize = match flags.get("top-k").map(String::as_str).unwrap_or("16").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: bad --top-k");
+            return usage();
+        }
+    };
+    let json = flags.contains_key("json");
+
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
+    if !json {
+        println!("tail sweep: {scale} scale, {pages} pages (fault-service cycles per span)");
+        println!(
+            "  {:<10} {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "workload", "scheme", "faults", "p50", "p99", "p999", "max"
+        );
+    }
+    for &wl_name in PAPER_WORKLOADS {
+        let mut scheme_rows: Vec<String> = Vec::new();
+        for strategy in CowStrategy::all() {
+            let workload = workload_of::<NullProbe>(wl_name, scale)
+                .expect("paper workload names are all known");
+            // Recorder only — no cycle ledger — so the sweep stays
+            // close to the untraced fast path.
+            let mut cfg =
+                SimConfig::new(strategy, pages).with_tail_recorder().with_tail_top_k(top_k);
+            if workers > 0 {
+                cfg = cfg.with_parallel(workers);
+            }
+            let mut sys = System::new(cfg);
+            workload.run(&mut sys).unwrap_or_else(|e| {
+                eprintln!("simulation failed ({wl_name}/{strategy}): {e}");
+                std::process::exit(1);
+            });
+            let s = sys
+                .tail_recorder()
+                .map(|t| t.summary())
+                .expect("tail recorder was enabled for every sweep run");
+            for (metric, value) in
+                [("fault_p50", s.p50), ("fault_p99", s.p99), ("fault_p999", s.p999)]
+            {
+                records.push(Record::with_scheme(
+                    format!("{metric}/{wl_name}"),
+                    strategy.to_string(),
+                    value as f64,
+                    "cycles",
+                ));
+            }
+            if json {
+                scheme_rows.push(format!("\"{strategy}\":{}", tail_summary_json(&s)));
+            } else {
+                println!(
+                    "  {:<10} {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                    wl_name,
+                    strategy.to_string(),
+                    s.count,
+                    s.p50,
+                    s.p99,
+                    s.p999,
+                    s.max
+                );
+            }
+        }
+        if json {
+            rows.push(format!("\"{wl_name}\":{{{}}}", scheme_rows.join(",")));
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    if json {
+        println!(
+            "{{\"scale\":\"{scale}\",\"pages\":\"{pages}\",\"wall_clock_s\":{wall:.3},\"workloads\":{{{}}}}}",
+            rows.join(","),
+        );
+    } else {
+        println!("  ({wall:.1}s wall clock; percentiles recorded to BENCH_RESULTS.json)");
+    }
+    emit("tail_latency", wall, &records);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -822,6 +1108,13 @@ fn main() -> ExitCode {
         },
         "profile" => match parse_flags(&args[1..]) {
             Ok(flags) => profile(&flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "tail" => match parse_flags(&args[1..]) {
+            Ok(flags) => tail_sweep(&flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -12,7 +12,9 @@
 //!    that drifts from the stats it narrates is worse than none.
 
 use lelantus::os::CowStrategy;
-use lelantus::sim::{CycleCategory, EventKind, HistKind, RingProbe, SimConfig, SimMetrics, System};
+use lelantus::sim::{
+    CycleCategory, EventKind, FaultAction, HistKind, RingProbe, SimConfig, SimMetrics, System,
+};
 use lelantus::types::PageSize;
 use lelantus::workloads::forkbench::Forkbench;
 use lelantus::workloads::{small_suite, Workload};
@@ -282,5 +284,216 @@ fn ledger_runs_are_bit_identical_to_unledgered_runs() {
         let r_on = wl.run(&mut on).unwrap();
         assert_eq!(r_off.measured, r_on.measured, "{page}: the ledger perturbed forkbench");
         assert_eq!(on.cycle_ledger().total(), on.metrics().cycles.as_u64(), "{page}");
+    }
+}
+
+/// The controller-side service-time histogram reconciles with the
+/// per-command event counts: one sample per page command, including
+/// rejected `page_phyc` attempts.
+#[test]
+fn cmd_service_histogram_reconciles_with_command_counts() {
+    for strategy in CowStrategy::all() {
+        let ring = big_ring();
+        let mut sys = System::with_probe(config(strategy), ring.clone());
+        drive(&mut sys);
+        let m = sys.metrics();
+        let commands = m.controller.cmd_page_copy
+            + m.controller.cmd_page_phyc
+            + m.controller.cmd_page_phyc_rejected
+            + m.controller.cmd_page_free
+            + m.controller.cmd_page_init;
+        assert_eq!(
+            ring.histograms().get(HistKind::CmdServiceCycles).count,
+            commands,
+            "{strategy}: every page command must record exactly one service-time sample"
+        );
+    }
+}
+
+/// The tail recorder is purely observational: enabling it changes no
+/// simulated number, no probe event, and no memory contents, on every
+/// scheme.
+#[test]
+fn tail_recorder_runs_are_bit_identical_to_unrecorded_runs() {
+    for strategy in CowStrategy::all() {
+        let ring_off = big_ring();
+        let mut off = System::with_probe(config(strategy), ring_off.clone());
+        let m_off = drive(&mut off);
+        let ring_on = big_ring();
+        let mut on = System::with_probe(config(strategy).with_tail_recorder(), ring_on.clone());
+        let m_on = drive(&mut on);
+        assert_eq!(m_off, m_on, "{strategy}: the tail recorder perturbed the simulation");
+        assert_eq!(
+            ring_off.events(),
+            ring_on.events(),
+            "{strategy}: the tail recorder perturbed the event stream"
+        );
+        assert_eq!(
+            off.merkle_root(),
+            on.merkle_root(),
+            "{strategy}: the tail recorder perturbed memory contents"
+        );
+        assert!(off.tail_recorder().is_none(), "recorder must be absent when not configured");
+        assert!(
+            on.tail_recorder().unwrap().summary().count > 0,
+            "{strategy}: enabled recorder saw no spans"
+        );
+    }
+}
+
+/// Span accounting reconciles with the kernel and controller counters:
+/// the explicit-fault actions partition the fault count, implicit-copy
+/// spans never exceed the implicit copies performed, and the per-action
+/// histograms partition the overall one.
+#[test]
+fn tail_spans_reconcile_with_fault_counters() {
+    for strategy in CowStrategy::all() {
+        let mut sys = System::new(config(strategy).with_tail_recorder());
+        drive(&mut sys);
+        let m = sys.metrics();
+        let t = sys.tail_recorder().unwrap();
+        let count_of = |a: FaultAction| t.action_histogram(a).count();
+        let explicit = count_of(FaultAction::EagerCopy)
+            + count_of(FaultAction::DemandZero)
+            + count_of(FaultAction::LazyCow)
+            + count_of(FaultAction::Reuse)
+            + count_of(FaultAction::EarlyReclaim);
+        assert_eq!(
+            explicit,
+            m.kernel.cow_faults + m.kernel.reuse_faults,
+            "{strategy}: one span per page fault"
+        );
+        // One implicit-copy span per store that triggered at least one
+        // deferred copy; a single store may complete several.
+        assert!(
+            count_of(FaultAction::ImplicitCopy) <= m.controller.implicit_copies,
+            "{strategy}: more implicit-copy spans than implicit copies"
+        );
+        let all: u64 = FaultAction::ALL.iter().map(|&a| count_of(a)).sum();
+        assert_eq!(
+            all,
+            t.histogram().count(),
+            "{strategy}: per-action histograms must partition the overall one"
+        );
+        if strategy == CowStrategy::Baseline {
+            assert!(
+                count_of(FaultAction::EagerCopy) > 0,
+                "baseline CoW faults must classify as eager copies"
+            );
+        }
+    }
+}
+
+/// Integration-level oracle for the HDR math: with a reservoir big
+/// enough to keep every span, the recorder's bucketed percentiles must
+/// land within one sub-bucket (1/32 relative error) of the exact
+/// sorted-sample answer.
+#[test]
+fn tail_percentiles_match_exact_span_oracle() {
+    let mut sys =
+        System::new(config(CowStrategy::Lelantus).with_tail_recorder().with_tail_top_k(1 << 20));
+    drive(&mut sys);
+    let t = sys.tail_recorder().unwrap();
+    let mut exact: Vec<u64> = t.worst().iter().map(|s| s.latency()).collect();
+    assert_eq!(exact.len() as u64, t.histogram().count(), "reservoir must have kept every span");
+    exact.sort_unstable();
+    for p in [0.5, 0.9, 0.99, 0.999, 1.0] {
+        let rank = ((p * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+        let truth = exact[rank - 1];
+        let approx = t.histogram().percentile(p);
+        assert!(
+            approx >= truth,
+            "p{p}: bucket upper bound {approx} fell below the exact answer {truth}"
+        );
+        assert!(
+            approx - truth <= truth / 32,
+            "p{p}: {approx} overshoots the exact answer {truth} by more than 1/32"
+        );
+    }
+}
+
+/// The recorder under the parallel sharded engine produces the same
+/// spans, percentiles, and worst offenders as the serial engine.
+#[test]
+fn tail_recorder_is_identical_under_parallel_engine() {
+    let mut serial = System::new(config(CowStrategy::Lelantus).with_tail_recorder());
+    let m_serial = drive(&mut serial);
+    let mut parallel =
+        System::new(config(CowStrategy::Lelantus).with_tail_recorder().with_parallel(4));
+    let m_parallel = drive(&mut parallel);
+    assert_eq!(m_serial, m_parallel, "parallel engine must stay bit-identical");
+    let (a, b) = (serial.tail_recorder().unwrap(), parallel.tail_recorder().unwrap());
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.histogram(), b.histogram());
+    assert_eq!(a.worst(), b.worst());
+}
+
+/// Per-epoch histogram and tail deltas sum back to the run totals, the
+/// same closure property the metric and ledger series already have.
+#[test]
+fn epoch_hist_and_tail_series_sum_to_run_totals() {
+    let ring = big_ring();
+    let mut sys = System::with_probe(
+        config(CowStrategy::Lelantus).with_epoch_interval(50_000).with_tail_recorder(),
+        ring.clone(),
+    );
+    drive(&mut sys);
+    let epochs = sys.epochs();
+    assert!(epochs.len() > 1, "expected several epochs, got {}", epochs.len());
+    let totals = ring.histograms();
+    for kind in HistKind::ALL {
+        let sum: u64 = epochs.iter().map(|e| e.hists.get(kind).count).sum();
+        assert_eq!(sum, totals.get(kind).count, "{kind:?}: epoch hist series drifted");
+    }
+    let span_sum: u64 = epochs.iter().map(|e| e.tail.count).sum();
+    assert_eq!(
+        span_sum,
+        sys.tail_recorder().unwrap().summary().count,
+        "epoch tail series drifted from the recorder total"
+    );
+}
+
+/// A mid-run crash re-baselines the histogram and tail series the way
+/// it already re-baselines metrics and ledger: the post-crash epochs
+/// stay well-formed and never double-count the pre-crash interval.
+#[test]
+fn crash_re_baselines_hist_and_tail_series() {
+    let ring = big_ring();
+    let mut sys = System::with_probe(
+        config(CowStrategy::Lelantus).with_epoch_interval(50_000).with_tail_recorder(),
+        ring.clone(),
+    );
+    let init = sys.spawn_init();
+    let va = sys.mmap(init, PAGES * PAGE).unwrap();
+    for i in 0..PAGES {
+        sys.write_bytes(init, va + i * PAGE, &[i as u8; 64]).unwrap();
+    }
+    let child = sys.fork(init).unwrap();
+    for i in 0..PAGES / 2 {
+        sys.write_bytes(child, va + i * PAGE, &[0xAA; 64]).unwrap();
+    }
+    sys.crash_and_recover().unwrap();
+    let survivor = sys.spawn_init();
+    let va2 = sys.mmap(survivor, PAGES * PAGE).unwrap();
+    for i in 0..PAGES {
+        sys.write_bytes(survivor, va2 + i * PAGE, &[0xBB; 64]).unwrap();
+    }
+    sys.finish();
+    let epochs = sys.epochs();
+    assert!(epochs.len() > 1, "expected several epochs, got {}", epochs.len());
+    // The interval between the last pre-crash epoch and the crash is
+    // deliberately dropped from the series, so sums are bounded by —
+    // not equal to — the run totals.
+    let totals = ring.histograms();
+    for kind in HistKind::ALL {
+        let sum: u64 = epochs.iter().map(|e| e.hists.get(kind).count).sum();
+        assert!(sum <= totals.get(kind).count, "{kind:?}: epoch series double-counted the crash");
+    }
+    let span_sum: u64 = epochs.iter().map(|e| e.tail.count).sum();
+    let span_total = sys.tail_recorder().unwrap().summary().count;
+    assert!(span_sum <= span_total, "tail series double-counted the crash interval");
+    assert!(span_total > 0, "recorder must keep accumulating across the crash");
+    for e in epochs {
+        assert!(e.tail.p999 >= e.tail.p50, "per-epoch percentiles must be ordered");
     }
 }
