@@ -4,6 +4,22 @@
 //! (order 0) up to 2 MB (order 9, a huge page) and beyond, with the
 //! classic split-on-alloc / merge-on-free discipline. This is the
 //! substrate behind `alloc_page()` in the fault handlers.
+//!
+//! Two backings:
+//!
+//! * **Bitmap** (default) — per-order hierarchical bitmaps
+//!   ([`BitTree`]: one bit per block, 64-way summary words stacked
+//!   until a single root word). Push/pop/buddy-merge are word
+//!   operations plus an O(levels) summary update — effectively O(1) —
+//!   and `find_first` descends the summaries, so allocation still
+//!   returns the *lowest free offset at the smallest sufficient
+//!   order*, exactly the reference's `BTreeSet::iter().next()` choice.
+//!   (A LIFO intrusive free list would be O(1) too, but would hand
+//!   out different addresses and break the repo's bit-identity bar;
+//!   the bitmap keeps address selection deterministic.) Double-free
+//!   detection is a per-frame tag byte instead of a `BTreeSet` probe.
+//! * **Reference** — the seed's `BTreeSet` free lists, kept behind
+//!   `KernelConfig::with_reference_structures()`.
 
 use lelantus_types::PhysAddr;
 use std::collections::BTreeSet;
@@ -14,6 +30,99 @@ pub const BASE_ORDER_BYTES: u64 = 4096;
 /// Largest supported order (order 11 = 8 MB), comfortably above huge
 /// pages (order 9 = 2 MB).
 pub const MAX_ORDER: u32 = 11;
+
+/// Hierarchical bitmap over `nbits` slots: level 0 is one bit per
+/// slot; each level above summarizes 64 words of the level below
+/// (bit j set ⇔ word j is non-zero), up to a single root word.
+/// `find_first` descends root→leaf via trailing-zero counts, so it
+/// returns the lowest set bit in O(levels).
+#[derive(Debug, Clone)]
+struct BitTree {
+    /// `levels[0]` are the leaf words; the last level is one word.
+    levels: Vec<Vec<u64>>,
+    count: usize,
+}
+
+impl BitTree {
+    fn new(nbits: usize) -> Self {
+        let mut levels = Vec::new();
+        let mut len = nbits.max(1).div_ceil(64);
+        levels.push(vec![0u64; len]);
+        while len > 1 {
+            len = len.div_ceil(64);
+            levels.push(vec![0u64; len]);
+        }
+        Self { levels, count: 0 }
+    }
+
+    /// Sets bit `i` (must be clear).
+    fn set(&mut self, i: usize) {
+        let (mut word, mut bit) = (i / 64, i % 64);
+        debug_assert_eq!(self.levels[0][word] & (1 << bit), 0, "bit already set");
+        for level in &mut self.levels {
+            let was = level[word];
+            level[word] = was | 1 << bit;
+            if was != 0 {
+                break; // summaries above are already set
+            }
+            (word, bit) = (word / 64, word % 64);
+        }
+        self.count += 1;
+    }
+
+    /// Clears bit `i` if set; returns whether it was set.
+    fn test_and_clear(&mut self, i: usize) -> bool {
+        let (mut word, mut bit) = (i / 64, i % 64);
+        if self.levels[0][word] & (1 << bit) == 0 {
+            return false;
+        }
+        for level in &mut self.levels {
+            level[word] &= !(1 << bit);
+            if level[word] != 0 {
+                break; // word still non-empty: summaries stay set
+            }
+            (word, bit) = (word / 64, word % 64);
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Index of the lowest set bit, if any.
+    fn find_first(&self) -> Option<usize> {
+        if self.levels.last().expect("at least one level")[0] == 0 {
+            return None;
+        }
+        let mut word = 0usize;
+        for level in self.levels.iter().rev() {
+            word = word * 64 + level[word].trailing_zeros() as usize;
+        }
+        Some(word)
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Bitmap {
+        /// `trees[order]`: bit `b` set ⇔ block at offset
+        /// `b * order_bytes(order)` is free at that order.
+        trees: Vec<BitTree>,
+        /// Per-frame allocation tag: `order + 1` at the first frame of
+        /// a live allocation, 0 otherwise. Replaces the reference's
+        /// `BTreeSet<(offset, order)>` double-free probe with one
+        /// byte load.
+        alloc_tag: Vec<u8>,
+    },
+    Reference {
+        /// free_lists[order] holds offsets (from base) of free blocks.
+        free_lists: Vec<BTreeSet<u64>>,
+        /// Live allocations as (offset, order) — double-free detection.
+        allocated: BTreeSet<(u64, u32)>,
+    },
+}
 
 /// A power-of-two buddy allocator.
 ///
@@ -31,30 +140,48 @@ pub const MAX_ORDER: u32 = 11;
 pub struct BuddyAllocator {
     base: u64,
     total_bytes: u64,
-    /// free_lists[order] holds offsets (from base) of free blocks.
-    free_lists: Vec<BTreeSet<u64>>,
-    /// Live allocations as (offset, order) — double-free detection.
-    allocated: BTreeSet<(u64, u32)>,
     free_bytes: u64,
+    repr: Repr,
 }
 
 impl BuddyAllocator {
-    /// Creates an allocator over `[base, base + bytes)`.
+    /// Creates an allocator over `[base, base + bytes)` on the bitmap
+    /// backing.
     ///
     /// # Panics
     ///
     /// Panics if `base`/`bytes` are not multiples of 4 KB or `bytes`
     /// is zero.
     pub fn new(base: u64, bytes: u64) -> Self {
+        let trees = (0..=MAX_ORDER)
+            .map(|o| BitTree::new((bytes / Self::order_bytes(o)) as usize))
+            .collect();
+        let alloc_tag = vec![0u8; (bytes / BASE_ORDER_BYTES) as usize];
+        Self::seeded(base, bytes, Repr::Bitmap { trees, alloc_tag })
+    }
+
+    /// Creates an allocator over `[base, base + bytes)` on the
+    /// reference `BTreeSet` backing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`bytes` are not multiples of 4 KB or `bytes`
+    /// is zero.
+    pub fn new_reference(base: u64, bytes: u64) -> Self {
+        Self::seeded(
+            base,
+            bytes,
+            Repr::Reference {
+                free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+                allocated: BTreeSet::new(),
+            },
+        )
+    }
+
+    fn seeded(base: u64, bytes: u64, repr: Repr) -> Self {
         assert!(bytes > 0 && bytes.is_multiple_of(BASE_ORDER_BYTES), "arena must be whole frames");
         assert!(base.is_multiple_of(BASE_ORDER_BYTES), "base must be frame-aligned");
-        let mut a = Self {
-            base,
-            total_bytes: bytes,
-            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
-            allocated: BTreeSet::new(),
-            free_bytes: 0,
-        };
+        let mut a = Self { base, total_bytes: bytes, free_bytes: 0, repr };
         // Seed with maximal aligned blocks.
         let mut offset = 0;
         while offset < bytes {
@@ -66,7 +193,7 @@ impl BuddyAllocator {
                 }
                 order -= 1;
             }
-            a.free_lists[order as usize].insert(offset);
+            a.push_free(order, offset);
             a.free_bytes += Self::order_bytes(order);
             offset += Self::order_bytes(order);
         }
@@ -97,8 +224,22 @@ impl BuddyAllocator {
         self.total_bytes
     }
 
+    #[inline]
+    fn push_free(&mut self, order: u32, offset: u64) {
+        match &mut self.repr {
+            Repr::Bitmap { trees, .. } => {
+                trees[order as usize].set((offset / Self::order_bytes(order)) as usize);
+            }
+            Repr::Reference { free_lists, .. } => {
+                free_lists[order as usize].insert(offset);
+            }
+        }
+    }
+
     /// Allocates a block of `order`, splitting larger blocks as needed.
-    /// Returns `None` when no block is available.
+    /// Returns `None` when no block is available. The block chosen is
+    /// the lowest free offset at the smallest sufficient order, on
+    /// both backings — allocation addresses are deterministic.
     ///
     /// # Panics
     ///
@@ -106,23 +247,34 @@ impl BuddyAllocator {
     pub fn alloc(&mut self, order: u32) -> Option<PhysAddr> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
         // Find the smallest available order >= requested.
-        let mut found = None;
-        for o in order..=MAX_ORDER {
-            if let Some(&offset) = self.free_lists[o as usize].iter().next() {
-                found = Some((o, offset));
-                break;
-            }
-        }
+        let found = match &mut self.repr {
+            Repr::Bitmap { trees, .. } => (order..=MAX_ORDER).find_map(|o| {
+                let bit = trees[o as usize].find_first()?;
+                trees[o as usize].test_and_clear(bit);
+                Some((o, bit as u64 * Self::order_bytes(o)))
+            }),
+            Repr::Reference { free_lists, .. } => (order..=MAX_ORDER).find_map(|o| {
+                let offset = *free_lists[o as usize].iter().next()?;
+                free_lists[o as usize].remove(&offset);
+                Some((o, offset))
+            }),
+        };
         let (mut o, offset) = found?;
-        self.free_lists[o as usize].remove(&offset);
         // Split down to the requested order, freeing the upper buddies.
         while o > order {
             o -= 1;
             let buddy = offset + Self::order_bytes(o);
-            self.free_lists[o as usize].insert(buddy);
+            self.push_free(o, buddy);
         }
         self.free_bytes -= Self::order_bytes(order);
-        self.allocated.insert((offset, order));
+        match &mut self.repr {
+            Repr::Bitmap { alloc_tag, .. } => {
+                alloc_tag[(offset / BASE_ORDER_BYTES) as usize] = order as u8 + 1;
+            }
+            Repr::Reference { allocated, .. } => {
+                allocated.insert((offset, order));
+            }
+        }
         Some(PhysAddr::new(self.base + offset))
     }
 
@@ -139,10 +291,18 @@ impl BuddyAllocator {
         assert!(raw >= self.base && raw - self.base < self.total_bytes, "address outside arena");
         let mut offset = raw - self.base;
         assert!(offset.is_multiple_of(Self::order_bytes(order)), "misaligned free");
-        assert!(
-            self.allocated.remove(&(offset, order)),
-            "double free (or wrong order) at offset {offset:#x} order {order}"
-        );
+        let released = match &mut self.repr {
+            Repr::Bitmap { alloc_tag, .. } => {
+                let tag = &mut alloc_tag[(offset / BASE_ORDER_BYTES) as usize];
+                let hit = *tag == order as u8 + 1;
+                if hit {
+                    *tag = 0;
+                }
+                hit
+            }
+            Repr::Reference { allocated, .. } => allocated.remove(&(offset, order)),
+        };
+        assert!(released, "double free (or wrong order) at offset {offset:#x} order {order}");
         let mut order = order;
         self.free_bytes += Self::order_bytes(order);
         loop {
@@ -150,21 +310,28 @@ impl BuddyAllocator {
                 break;
             }
             let buddy = offset ^ Self::order_bytes(order);
-            if buddy + Self::order_bytes(order) <= self.total_bytes
-                && self.free_lists[order as usize].remove(&buddy)
-            {
+            let merged = buddy + Self::order_bytes(order) <= self.total_bytes
+                && match &mut self.repr {
+                    Repr::Bitmap { trees, .. } => trees[order as usize]
+                        .test_and_clear((buddy / Self::order_bytes(order)) as usize),
+                    Repr::Reference { free_lists, .. } => free_lists[order as usize].remove(&buddy),
+                };
+            if merged {
                 offset = offset.min(buddy);
                 order += 1;
             } else {
                 break;
             }
         }
-        self.free_lists[order as usize].insert(offset);
+        self.push_free(order, offset);
     }
 
     /// Number of free blocks at each order (diagnostics / invariants).
     pub fn free_counts(&self) -> Vec<usize> {
-        self.free_lists.iter().map(BTreeSet::len).collect()
+        match &self.repr {
+            Repr::Bitmap { trees, .. } => trees.iter().map(BitTree::len).collect(),
+            Repr::Reference { free_lists, .. } => free_lists.iter().map(BTreeSet::len).collect(),
+        }
     }
 }
 
@@ -174,70 +341,121 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn bittree_set_clear_find() {
+        let mut t = BitTree::new(100_000);
+        assert_eq!(t.find_first(), None);
+        for &i in &[99_999usize, 70_001, 64, 63, 7] {
+            t.set(i);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.find_first(), Some(7));
+        assert!(t.test_and_clear(7));
+        assert!(!t.test_and_clear(7));
+        assert_eq!(t.find_first(), Some(63));
+        assert!(t.test_and_clear(63));
+        assert!(t.test_and_clear(64));
+        assert_eq!(t.find_first(), Some(70_001));
+        assert!(t.test_and_clear(70_001));
+        assert_eq!(t.find_first(), Some(99_999));
+        assert!(t.test_and_clear(99_999));
+        assert_eq!(t.find_first(), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn bittree_single_word() {
+        let mut t = BitTree::new(10);
+        t.set(9);
+        assert_eq!(t.find_first(), Some(9));
+        t.set(0);
+        assert_eq!(t.find_first(), Some(0));
+    }
+
+    fn both(base: u64, bytes: u64) -> [BuddyAllocator; 2] {
+        [BuddyAllocator::new(base, bytes), BuddyAllocator::new_reference(base, bytes)]
+    }
+
+    #[test]
     fn alloc_free_roundtrip() {
-        let mut b = BuddyAllocator::new(0, 1 << 20);
-        let before = b.free_bytes();
-        let f = b.alloc(0).unwrap();
-        assert_eq!(b.free_bytes(), before - 4096);
-        b.free(f, 0);
-        assert_eq!(b.free_bytes(), before);
+        for mut b in both(0, 1 << 20) {
+            let before = b.free_bytes();
+            let f = b.alloc(0).unwrap();
+            assert_eq!(b.free_bytes(), before - 4096);
+            b.free(f, 0);
+            assert_eq!(b.free_bytes(), before);
+        }
     }
 
     #[test]
     fn split_and_merge_restore_initial_state() {
-        let mut b = BuddyAllocator::new(0, 1 << 23); // 8 MB = one order-11 block
-        assert_eq!(b.free_counts()[MAX_ORDER as usize], 1);
-        let frames: Vec<_> = (0..16).map(|_| b.alloc(0).unwrap()).collect();
-        assert!(b.free_counts()[MAX_ORDER as usize] == 0);
-        for f in frames {
-            b.free(f, 0);
+        for mut b in both(0, 1 << 23) {
+            // 8 MB = one order-11 block
+            assert_eq!(b.free_counts()[MAX_ORDER as usize], 1);
+            let frames: Vec<_> = (0..16).map(|_| b.alloc(0).unwrap()).collect();
+            assert!(b.free_counts()[MAX_ORDER as usize] == 0);
+            for f in frames {
+                b.free(f, 0);
+            }
+            assert_eq!(b.free_counts()[MAX_ORDER as usize], 1, "buddies fully merged");
         }
-        assert_eq!(b.free_counts()[MAX_ORDER as usize], 1, "buddies fully merged");
     }
 
     #[test]
     fn huge_page_allocation_is_aligned() {
-        let mut b = BuddyAllocator::new(0, 16 << 20);
-        let _small = b.alloc(0).unwrap();
-        let huge = b.alloc(9).unwrap(); // 2 MB
-        assert!(huge.is_aligned_to(2 << 20));
+        for mut b in both(0, 16 << 20) {
+            let _small = b.alloc(0).unwrap();
+            let huge = b.alloc(9).unwrap(); // 2 MB
+            assert!(huge.is_aligned_to(2 << 20));
+        }
     }
 
     #[test]
     fn exhaustion_returns_none() {
-        let mut b = BuddyAllocator::new(0, 8192);
-        assert!(b.alloc(0).is_some());
-        assert!(b.alloc(0).is_some());
-        assert!(b.alloc(0).is_none());
-        assert!(b.alloc(9).is_none());
+        for mut b in both(0, 8192) {
+            assert!(b.alloc(0).is_some());
+            assert!(b.alloc(0).is_some());
+            assert!(b.alloc(0).is_none());
+            assert!(b.alloc(9).is_none());
+        }
     }
 
     #[test]
     fn distinct_allocations_do_not_overlap() {
-        let mut b = BuddyAllocator::new(0x1000_0000, 4 << 20);
-        let mut got = Vec::new();
-        while let Some(f) = b.alloc(1) {
-            got.push(f.as_u64());
+        for mut b in both(0x1000_0000, 4 << 20) {
+            let mut got = Vec::new();
+            while let Some(f) = b.alloc(1) {
+                got.push(f.as_u64());
+            }
+            got.sort_unstable();
+            for pair in got.windows(2) {
+                assert!(pair[1] - pair[0] >= 8192, "order-1 blocks overlap");
+            }
+            assert_eq!(got.len(), (4 << 20) / 8192);
         }
-        got.sort_unstable();
-        for pair in got.windows(2) {
-            assert!(pair[1] - pair[0] >= 8192, "order-1 blocks overlap");
-        }
-        assert_eq!(got.len(), (4 << 20) / 8192);
     }
 
     #[test]
     fn base_offset_respected() {
-        let mut b = BuddyAllocator::new(0x4000_0000, 1 << 20);
-        let f = b.alloc(0).unwrap();
-        assert!(f.as_u64() >= 0x4000_0000);
-        b.free(f, 0);
+        for mut b in both(0x4000_0000, 1 << 20) {
+            let f = b.alloc(0).unwrap();
+            assert!(f.as_u64() >= 0x4000_0000);
+            b.free(f, 0);
+        }
     }
 
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut b = BuddyAllocator::new(0, 1 << 20);
+        let f = b.alloc(0).unwrap();
+        b.free(f, 0);
+        b.free(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_reference() {
+        let mut b = BuddyAllocator::new_reference(0, 1 << 20);
         let f = b.alloc(0).unwrap();
         b.free(f, 0);
         b.free(f, 0);
@@ -254,14 +472,15 @@ mod tests {
     #[test]
     fn non_power_of_two_arena_is_fully_usable() {
         // 12 KB arena = one 8 KB block + one 4 KB block.
-        let mut b = BuddyAllocator::new(0, 12 << 10);
-        assert_eq!(b.free_bytes(), 12 << 10);
-        let a1 = b.alloc(1).unwrap();
-        let a0 = b.alloc(0).unwrap();
-        assert!(b.alloc(0).is_none());
-        b.free(a1, 1);
-        b.free(a0, 0);
-        assert_eq!(b.free_bytes(), 12 << 10);
+        for mut b in both(0, 12 << 10) {
+            assert_eq!(b.free_bytes(), 12 << 10);
+            let a1 = b.alloc(1).unwrap();
+            let a0 = b.alloc(0).unwrap();
+            assert!(b.alloc(0).is_none());
+            b.free(a1, 1);
+            b.free(a0, 0);
+            assert_eq!(b.free_bytes(), 12 << 10);
+        }
     }
 
     #[test]
@@ -309,6 +528,32 @@ mod tests {
                     }
                     ranges.push((start, end));
                 }
+            }
+        }
+
+        /// The bitmap backing must make byte-for-byte identical
+        /// address choices to the reference under arbitrary
+        /// interleavings — this is what keeps `HwAction` streams
+        /// bit-identical at the kernel level.
+        #[test]
+        fn prop_bitmap_matches_reference(ops in prop::collection::vec((0u32..6, any::<bool>()), 1..300)) {
+            let mut fast = BuddyAllocator::new(0x1000, 4 << 20);
+            let mut reference = BuddyAllocator::new_reference(0x1000, 4 << 20);
+            let mut live: Vec<(PhysAddr, u32)> = Vec::new();
+            for (order, do_alloc) in ops {
+                if do_alloc || live.is_empty() {
+                    let (a, b) = (fast.alloc(order), reference.alloc(order));
+                    prop_assert_eq!(a, b, "divergent allocation at order {}", order);
+                    if let Some(f) = a {
+                        live.push((f, order));
+                    }
+                } else {
+                    let (f, o) = live.swap_remove(live.len() / 2);
+                    fast.free(f, o);
+                    reference.free(f, o);
+                }
+                prop_assert_eq!(fast.free_bytes(), reference.free_bytes());
+                prop_assert_eq!(fast.free_counts(), reference.free_counts());
             }
         }
     }

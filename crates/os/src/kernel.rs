@@ -217,8 +217,19 @@ impl Kernel {
         let zero_page_2m = PhysAddr::new(0);
         let zero_page_4k = PhysAddr::new(0);
         let reserved = 2 << 20;
-        let buddy = BuddyAllocator::new(reserved, config.phys_bytes - reserved);
-        let mut pages = PageRegistry::new();
+        let (buddy, mut pages, rmap) = if config.reference_structures {
+            (
+                BuddyAllocator::new_reference(reserved, config.phys_bytes - reserved),
+                PageRegistry::new_reference(),
+                RmapRegistry::new_reference(),
+            )
+        } else {
+            (
+                BuddyAllocator::new(reserved, config.phys_bytes - reserved),
+                PageRegistry::new(),
+                RmapRegistry::new(),
+            )
+        };
         pages.insert(zero_page_2m, PageSize::Huge2M, None);
         // Kernel's own permanent reference keeps the zero page alive.
         pages.inc_map(zero_page_2m);
@@ -226,13 +237,22 @@ impl Kernel {
             config,
             buddy,
             pages,
-            rmap: RmapRegistry::new(),
+            rmap,
             processes: HashMap::new(),
             next_pid: 1,
             next_mmap: config.mmap_base,
             zero_page_4k,
             zero_page_2m,
             stats: KernelStats::default(),
+        }
+    }
+
+    /// A page table on the backing selected by the configuration.
+    fn new_page_table(&self) -> PageTable {
+        if self.config.reference_structures {
+            PageTable::new_reference()
+        } else {
+            PageTable::new()
         }
     }
 
@@ -264,7 +284,8 @@ impl Kernel {
     pub fn spawn_init(&mut self) -> ProcessId {
         let pid = self.next_pid;
         self.next_pid += 1;
-        self.processes.insert(pid, Process { page_table: PageTable::new(), vmas: BTreeMap::new() });
+        self.processes
+            .insert(pid, Process { page_table: self.new_page_table(), vmas: BTreeMap::new() });
         pid
     }
 
@@ -281,6 +302,14 @@ impl Kernel {
 
     fn process_mut(&mut self, pid: ProcessId) -> Result<&mut Process, OsError> {
         self.processes.get_mut(&pid).ok_or(OsError::NoSuchProcess(pid))
+    }
+
+    /// The VMA containing `va`, found by predecessor lookup (VMAs are
+    /// disjoint, so the candidate is the one with the greatest start
+    /// `<= va`).
+    fn vma_containing(vmas: &BTreeMap<u64, Vma>, va: VirtAddr) -> Option<&Vma> {
+        let (_, vma) = vmas.range(..=va.as_u64()).next_back()?;
+        vma.contains(va).then_some(vma)
     }
 
     /// Maps `len` bytes of anonymous memory in `pid` at a fresh virtual
@@ -320,9 +349,7 @@ impl Kernel {
                 va += page_bytes;
             }
         }
-        for _ in 0..vma.pages() {
-            self.pages.inc_map(self.zero_page_2m);
-        }
+        self.pages.inc_map_by(self.zero_page_2m, vma.pages() as usize);
         Ok(base)
     }
 
@@ -331,24 +358,34 @@ impl Kernel {
     /// actions (source pages are flushed before being write-protected,
     /// paper §IV-B).
     ///
+    /// The parent's PTEs are streamed in place — no intermediate
+    /// `Vec<(VirtAddr, Pte)>` snapshot. After write-protecting every
+    /// non-zero mapping during the walk, the parent's table *is* the
+    /// child's desired table (zero-page PTEs are non-writable by
+    /// invariant), so the child is built with one bulk clone.
+    ///
     /// # Errors
     ///
     /// Fails if the parent does not exist.
     pub fn fork(&mut self, parent: ProcessId) -> Result<(ProcessId, Vec<HwAction>), OsError> {
-        let (vmas, parent_pt): (Vec<Vma>, Vec<(VirtAddr, Pte)>) = {
-            let p = self.process(parent)?;
-            (p.vmas.values().copied().collect(), p.page_table.iter().collect())
-        };
+        // Take the parent out of the process table so its page table
+        // can be walked mutably while the page registry updates.
+        let mut parent_proc =
+            self.processes.remove(&parent).ok_or(OsError::NoSuchProcess(parent))?;
         let child = self.next_pid;
         self.next_pid += 1;
         self.stats.forks += 1;
 
         let mut actions = Vec::new();
-        let mut child_pt = PageTable::new();
-        for (va, mut pte) in parent_pt {
-            self.pages.inc_map(if self.is_zero_page(pte.pa) { self.zero_page_2m } else { pte.pa });
-            if !self.is_zero_page(pte.pa) {
-                let info = self.pages.get_mut(pte.pa).expect("mapped page registered");
+        let (zero_4k, zero_2m) = (self.zero_page_4k, self.zero_page_2m);
+        let pages = &mut self.pages;
+        parent_proc.page_table.for_each_mut(|_, pte| {
+            let is_zero = pte.pa == zero_4k || pte.pa == zero_2m;
+            pages.inc_map(if is_zero { zero_2m } else { pte.pa });
+            if is_zero {
+                debug_assert!(!pte.writable, "zero-page PTEs are never writable");
+            } else {
+                let info = pages.get_mut(pte.pa).expect("mapped page registered");
                 if !info.cow_protected {
                     info.cow_protected = true;
                     // Dirty cached lines must reach NVM before lazy
@@ -356,22 +393,16 @@ impl Kernel {
                     actions.push(HwAction::FlushPage { base: pte.pa, bytes: pte.size.bytes() });
                 }
                 info.reuse_deferred = false;
-                // Write-protect the parent's PTE too.
-                self.processes
-                    .get_mut(&parent)
-                    .expect("parent exists")
-                    .page_table
-                    .set_writable(va, false);
+                // Write-protect the parent's PTE in place.
+                pte.writable = false;
             }
-            pte.writable = false;
-            child_pt.map(va, pte);
-        }
-        let mut child_vmas = BTreeMap::new();
-        for vma in vmas {
+        });
+        let child_proc = parent_proc.clone();
+        for vma in parent_proc.vmas.values() {
             self.rmap.link(vma.anon_vma, child, vma.start);
-            child_vmas.insert(vma.start.as_u64(), vma);
         }
-        self.processes.insert(child, Process { page_table: child_pt, vmas: child_vmas });
+        self.processes.insert(parent, parent_proc);
+        self.processes.insert(child, child_proc);
         Ok((child, actions))
     }
 
@@ -410,11 +441,7 @@ impl Kernel {
             return Ok(AccessOutcome { pa: translation.pa, fault: None, actions: Vec::new() });
         }
         // Write fault.
-        let vma = *self
-            .process(pid)?
-            .vmas
-            .values()
-            .find(|v| v.contains(va))
+        let vma = *Self::vma_containing(&self.process(pid)?.vmas, va)
             .ok_or(OsError::UnmappedAddress { pid, va })?;
         if !vma.writable {
             return Err(OsError::AccessViolation { pid, va });
@@ -562,7 +589,11 @@ impl Kernel {
         let mut actions = Vec::new();
         let page_offset = va_base - vma.start;
         let size = self.pages.get(pa).map(|i| i.size).unwrap_or(PageSize::Regular4K);
-        for link in self.rmap.links(vma.anon_vma).to_vec() {
+        // Cursor walk: the chain is not mutated inside the loop, and
+        // the cursor is a plain value, so no snapshot `Vec` is needed.
+        let mut cur = self.rmap.cursor(vma.anon_vma);
+        while let Some(link) = self.rmap.link_at(cur) {
+            cur = self.rmap.advance(cur);
             if link.pid == pid && link.vma_start == vma.start {
                 continue;
             }
@@ -600,20 +631,23 @@ impl Kernel {
         let mut actions = Vec::new();
         let remaining = self.pages.dec_map(pa);
         if remaining == 0 {
-            let info = self.pages.get(pa).expect("page exists").clone();
+            let (size, cow_protected) = {
+                let info = self.pages.get(pa).expect("page exists");
+                (info.size, info.cow_protected)
+            };
             // A dying write-protected source may still feed lazy copies:
             // materialize them first (paper §III-D "before releasing").
-            if info.cow_protected && self.config.strategy.is_lelantus() {
+            if cow_protected && self.config.strategy.is_lelantus() {
                 let mut reclaim = self.early_reclaim(pid, vma, va_base, pa);
                 actions.append(&mut reclaim);
             }
             if self.config.strategy.is_lelantus() {
                 // Abandon any pending copies *into* this page.
-                for r in 0..info.size.regions() {
+                for r in 0..size.regions() {
                     actions.push(HwAction::PageFreeCmd { dst: pa + (r as u64) * REGION_BYTES });
                 }
             }
-            let order = BuddyAllocator::order_for_bytes(info.size.bytes());
+            let order = BuddyAllocator::order_for_bytes(size.bytes());
             self.pages.remove(pa);
             self.buddy.free(pa, order);
             self.stats.pages_freed += 1;
@@ -652,7 +686,7 @@ impl Kernel {
             actions.extend(self.put_page(pid, &vma, va, pa));
         }
         self.rmap.unlink(vma.anon_vma, pid, vma.start);
-        if self.rmap.links(vma.anon_vma).is_empty() {
+        if self.rmap.link_count(vma.anon_vma) == 0 {
             self.rmap.destroy(vma.anon_vma);
         }
         Ok(actions)
@@ -671,11 +705,7 @@ impl Kernel {
         va: VirtAddr,
         len: u64,
     ) -> Result<Vec<HwAction>, OsError> {
-        let vma = *self
-            .process(pid)?
-            .vmas
-            .values()
-            .find(|v| v.contains(va))
+        let vma = *Self::vma_containing(&self.process(pid)?.vmas, va)
             .ok_or(OsError::UnmappedAddress { pid, va })?;
         if va + len > vma.end || !va.is_aligned_to(vma.page_size.bytes()) {
             return Err(OsError::BadMapping(
@@ -731,18 +761,17 @@ impl Kernel {
             vma.writable = writable;
             *vma
         };
-        let mappings: Vec<(VirtAddr, Pte)> =
-            self.process(pid)?.page_table.iter().filter(|(va, _)| vma.contains(*va)).collect();
-        for (va, pte) in mappings {
-            let allow = writable
-                && !self.is_zero_page(pte.pa)
-                && self
-                    .pages
-                    .get(pte.pa)
-                    .map(|i| i.map_count == 1 && !i.cow_protected)
-                    .unwrap_or(false);
-            self.processes.get_mut(&pid).expect("checked").page_table.set_writable(va, allow);
-        }
+        // Walk only the VMA's PTE range, in place — no whole-table
+        // collect, no per-page re-lookup.
+        let mut proc = self.processes.remove(&pid).expect("checked above");
+        let (zero_4k, zero_2m) = (self.zero_page_4k, self.zero_page_2m);
+        let pages = &self.pages;
+        proc.page_table.for_each_mut_in(vma.start, vma.end, |_, pte| {
+            pte.writable = writable
+                && !(pte.pa == zero_4k || pte.pa == zero_2m)
+                && pages.get(pte.pa).map(|i| i.map_count == 1 && !i.cow_protected).unwrap_or(false);
+        });
+        self.processes.insert(pid, proc);
         Ok(())
     }
 
@@ -756,15 +785,14 @@ impl Kernel {
         let proc = self.processes.remove(&pid).ok_or(OsError::NoSuchProcess(pid))?;
         let mut actions = Vec::new();
         for vma in proc.vmas.values() {
-            let mut va = vma.start;
-            while va < vma.end {
-                if let Some(t) = proc.page_table.translate(va) {
-                    actions.extend(self.put_page(pid, vma, va, t.pte.pa));
-                }
-                va += vma.page_size.bytes();
+            // Range walk instead of per-page translate probes: every
+            // VMA page is always mapped, so the covered PTEs are
+            // exactly the VMA's pages, in the same ascending order.
+            for (va, pte) in proc.page_table.range(vma.start, vma.end) {
+                actions.extend(self.put_page(pid, vma, va, pte.pa));
             }
             self.rmap.unlink(vma.anon_vma, pid, vma.start);
-            if self.rmap.links(vma.anon_vma).is_empty() {
+            if self.rmap.link_count(vma.anon_vma) == 0 {
                 self.rmap.destroy(vma.anon_vma);
             }
         }
@@ -798,10 +826,7 @@ impl Kernel {
         let (va_base, pte, vma) = {
             let proc = self.process(pid)?;
             let t = proc.page_table.translate(va).ok_or(OsError::UnmappedAddress { pid, va })?;
-            let vma = *proc
-                .vmas
-                .values()
-                .find(|v| v.contains(va))
+            let vma = *Self::vma_containing(&proc.vmas, va)
                 .ok_or(OsError::UnmappedAddress { pid, va })?;
             (t.va_base, t.pte, vma)
         };

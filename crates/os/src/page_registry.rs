@@ -7,9 +7,24 @@
 //! count drops to one, the kernel pauses `wp_page_reuse` /
 //! `page_move_anon_rmap`, so a later write still faults and early
 //! reclamation can run first.
+//!
+//! Two backings, proven observationally identical by the differential
+//! tests below (and by the kernel-level equivalence suite):
+//!
+//! * **Dense** (default) — a `Vec` indexed by frame number
+//!   (`base / 4 KB`), the same discipline as the NVM `LineStore`:
+//!   lookups are one bounds check and one array indexing, with no
+//!   hashing and no per-entry allocation. Frames are already a compact
+//!   index, so the vector tracks the highest frame ever registered.
+//! * **Reference** — the seed's `HashMap` keyed by base address, kept
+//!   behind `KernelConfig::with_reference_structures()`.
 
 use lelantus_types::{PageSize, PhysAddr};
 use std::collections::HashMap;
+
+/// Frame size the dense index is keyed by (one 4 KB frame per slot;
+/// huge pages occupy the slot of their base frame only).
+const FRAME_BYTES: u64 = 4096;
 
 /// Kernel bookkeeping for one allocated physical page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,8 +41,16 @@ pub struct PageInfo {
     pub anon_vma: Option<u64>,
     /// Lelantus: `wp_page_reuse` was deferred when `map_count` hit one
     /// (paper Figure 8); the next write fault must run early
-    /// reclamation before unprotecting.
+    /// reclamation before unprotecting (paper Figure 8).
     pub reuse_deferred: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Frame-indexed slots, grown to the highest registered frame.
+    Dense { slots: Vec<Option<PageInfo>>, len: usize },
+    /// The seed's map, kept as the reference implementation.
+    Reference { pages: HashMap<u64, PageInfo> },
 }
 
 /// Registry of all allocated pages, keyed by base physical address.
@@ -43,15 +66,31 @@ pub struct PageInfo {
 /// reg.inc_map(PhysAddr::new(0x1000));
 /// assert_eq!(reg.get(PhysAddr::new(0x1000)).unwrap().map_count, 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PageRegistry {
-    pages: HashMap<u64, PageInfo>,
+    repr: Repr,
+}
+
+impl Default for PageRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PageRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry on the dense frame-indexed backing.
     pub fn new() -> Self {
-        Self::default()
+        Self { repr: Repr::Dense { slots: Vec::new(), len: 0 } }
+    }
+
+    /// Creates an empty registry on the reference `HashMap` backing.
+    pub fn new_reference() -> Self {
+        Self { repr: Repr::Reference { pages: HashMap::new() } }
+    }
+
+    #[inline]
+    fn frame(base: PhysAddr) -> usize {
+        (base.as_u64() / FRAME_BYTES) as usize
     }
 
     /// Registers a fresh page with zero mappings.
@@ -60,28 +99,51 @@ impl PageRegistry {
     ///
     /// Panics if the page is already registered.
     pub fn insert(&mut self, base: PhysAddr, size: PageSize, anon_vma: Option<u64>) {
-        let prev = self.pages.insert(
-            base.as_u64(),
-            PageInfo {
-                base,
-                size,
-                map_count: 0,
-                cow_protected: false,
-                anon_vma,
-                reuse_deferred: false,
-            },
-        );
-        assert!(prev.is_none(), "page {base} registered twice");
+        let info = PageInfo {
+            base,
+            size,
+            map_count: 0,
+            cow_protected: false,
+            anon_vma,
+            reuse_deferred: false,
+        };
+        match &mut self.repr {
+            Repr::Dense { slots, len } => {
+                let frame = Self::frame(base);
+                if frame >= slots.len() {
+                    // Grow geometrically so a rising high-water mark
+                    // costs amortized O(1) per insert.
+                    let target = (frame + 1).next_power_of_two().max(64);
+                    slots.resize(target, None);
+                }
+                let slot = &mut slots[frame];
+                assert!(slot.is_none(), "page {base} registered twice");
+                *slot = Some(info);
+                *len += 1;
+            }
+            Repr::Reference { pages } => {
+                let prev = pages.insert(base.as_u64(), info);
+                assert!(prev.is_none(), "page {base} registered twice");
+            }
+        }
     }
 
     /// Looks up a page.
+    #[inline]
     pub fn get(&self, base: PhysAddr) -> Option<&PageInfo> {
-        self.pages.get(&base.as_u64())
+        match &self.repr {
+            Repr::Dense { slots, .. } => slots.get(Self::frame(base))?.as_ref(),
+            Repr::Reference { pages } => pages.get(&base.as_u64()),
+        }
     }
 
     /// Mutable lookup.
+    #[inline]
     pub fn get_mut(&mut self, base: PhysAddr) -> Option<&mut PageInfo> {
-        self.pages.get_mut(&base.as_u64())
+        match &mut self.repr {
+            Repr::Dense { slots, .. } => slots.get_mut(Self::frame(base))?.as_mut(),
+            Repr::Reference { pages } => pages.get_mut(&base.as_u64()),
+        }
     }
 
     /// Increments the map count.
@@ -89,8 +151,20 @@ impl PageRegistry {
     /// # Panics
     ///
     /// Panics if the page is unknown.
+    #[inline]
     pub fn inc_map(&mut self, base: PhysAddr) {
         self.expect_mut(base).map_count += 1;
+    }
+
+    /// Increments the map count by `n` (bulk mapping, e.g. an `mmap`
+    /// populating a whole VMA with zero-page references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown.
+    #[inline]
+    pub fn inc_map_by(&mut self, base: PhysAddr, n: usize) {
+        self.expect_mut(base).map_count += n;
     }
 
     /// Decrements the map count, returning the new value.
@@ -98,6 +172,7 @@ impl PageRegistry {
     /// # Panics
     ///
     /// Panics if the page is unknown or already unmapped.
+    #[inline]
     pub fn dec_map(&mut self, base: PhysAddr) -> usize {
         let info = self.expect_mut(base);
         assert!(info.map_count > 0, "unmapping page {base} with zero map count");
@@ -112,23 +187,39 @@ impl PageRegistry {
     ///
     /// Panics if the page is unknown or still mapped.
     pub fn remove(&mut self, base: PhysAddr) -> PageInfo {
-        let info = self.pages.remove(&base.as_u64()).expect("removing unknown page");
+        let info = match &mut self.repr {
+            Repr::Dense { slots, len } => {
+                let info = slots
+                    .get_mut(Self::frame(base))
+                    .and_then(Option::take)
+                    .expect("removing unknown page");
+                *len -= 1;
+                info
+            }
+            Repr::Reference { pages } => {
+                pages.remove(&base.as_u64()).expect("removing unknown page")
+            }
+        };
         assert_eq!(info.map_count, 0, "freeing page {base} that is still mapped");
         info
     }
 
     /// Number of registered pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        match &self.repr {
+            Repr::Dense { len, .. } => *len,
+            Repr::Reference { pages } => pages.len(),
+        }
     }
 
     /// True when no pages are registered.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.len() == 0
     }
 
+    #[inline]
     fn expect_mut(&mut self, base: PhysAddr) -> &mut PageInfo {
-        self.pages.get_mut(&base.as_u64()).unwrap_or_else(|| panic!("unknown page {base}"))
+        self.get_mut(base).unwrap_or_else(|| panic!("unknown page {base}"))
     }
 }
 
@@ -136,24 +227,37 @@ impl PageRegistry {
 mod tests {
     use super::*;
 
+    fn both() -> [PageRegistry; 2] {
+        [PageRegistry::new(), PageRegistry::new_reference()]
+    }
+
     #[test]
     fn lifecycle() {
-        let mut r = PageRegistry::new();
-        let p = PhysAddr::new(0x2000);
-        r.insert(p, PageSize::Regular4K, Some(3));
-        r.inc_map(p);
-        r.inc_map(p);
-        assert_eq!(r.dec_map(p), 1);
-        assert_eq!(r.dec_map(p), 0);
-        let info = r.remove(p);
-        assert_eq!(info.anon_vma, Some(3));
-        assert!(r.is_empty());
+        for mut r in both() {
+            let p = PhysAddr::new(0x2000);
+            r.insert(p, PageSize::Regular4K, Some(3));
+            r.inc_map(p);
+            r.inc_map(p);
+            assert_eq!(r.dec_map(p), 1);
+            assert_eq!(r.dec_map(p), 0);
+            let info = r.remove(p);
+            assert_eq!(info.anon_vma, Some(3));
+            assert!(r.is_empty());
+        }
     }
 
     #[test]
     #[should_panic(expected = "registered twice")]
     fn double_insert_panics() {
         let mut r = PageRegistry::new();
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+        r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_insert_panics_reference() {
+        let mut r = PageRegistry::new_reference();
         r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
         r.insert(PhysAddr::new(0), PageSize::Regular4K, None);
     }
@@ -177,13 +281,84 @@ mod tests {
 
     #[test]
     fn flags_are_mutable() {
+        for mut r in both() {
+            let p = PhysAddr::new(0x4000);
+            r.insert(p, PageSize::Huge2M, None);
+            r.get_mut(p).unwrap().cow_protected = true;
+            r.get_mut(p).unwrap().reuse_deferred = true;
+            let info = r.get(p).unwrap();
+            assert!(info.cow_protected && info.reuse_deferred);
+            assert_eq!(info.size, PageSize::Huge2M);
+        }
+    }
+
+    #[test]
+    fn bulk_inc_matches_repeated_inc() {
+        let mut a = PageRegistry::new();
+        let mut b = PageRegistry::new_reference();
+        let p = PhysAddr::new(0x8000);
+        a.insert(p, PageSize::Regular4K, None);
+        b.insert(p, PageSize::Regular4K, None);
+        a.inc_map_by(p, 5);
+        for _ in 0..5 {
+            b.inc_map(p);
+        }
+        assert_eq!(a.get(p).unwrap().map_count, b.get(p).unwrap().map_count);
+    }
+
+    #[test]
+    fn sparse_high_frames_do_not_explode() {
+        // The dense backing grows to the high-water frame; a high but
+        // bounded address must register and resolve like any other.
         let mut r = PageRegistry::new();
-        let p = PhysAddr::new(0x4000);
-        r.insert(p, PageSize::Huge2M, None);
-        r.get_mut(p).unwrap().cow_protected = true;
-        r.get_mut(p).unwrap().reuse_deferred = true;
-        let info = r.get(p).unwrap();
-        assert!(info.cow_protected && info.reuse_deferred);
-        assert_eq!(info.size, PageSize::Huge2M);
+        let high = PhysAddr::new(1 << 33); // 8 GB
+        r.insert(high, PageSize::Regular4K, None);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(high).is_some());
+        assert!(r.get(PhysAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn differential_against_reference() {
+        // Deterministic op soup over a small frame pool: the dense
+        // registry must be observationally identical to the HashMap.
+        let mut fast = PageRegistry::new();
+        let mut reference = PageRegistry::new_reference();
+        let mut x: u64 = 0x5eed;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..20_000u64 {
+            let base = PhysAddr::new((step() % 64) * 4096);
+            match step() % 5 {
+                0 => {
+                    if fast.get(base).is_none() {
+                        fast.insert(base, PageSize::Regular4K, Some(i));
+                        reference.insert(base, PageSize::Regular4K, Some(i));
+                    }
+                }
+                1 => {
+                    if fast.get(base).is_some() {
+                        fast.inc_map(base);
+                        reference.inc_map(base);
+                    }
+                }
+                2 => {
+                    if fast.get(base).map(|p| p.map_count > 0).unwrap_or(false) {
+                        assert_eq!(fast.dec_map(base), reference.dec_map(base), "step {i}");
+                    }
+                }
+                3 => {
+                    if fast.get(base).map(|p| p.map_count == 0).unwrap_or(false) {
+                        assert_eq!(fast.remove(base), reference.remove(base), "step {i}");
+                    }
+                }
+                _ => {
+                    assert_eq!(fast.get(base), reference.get(base), "step {i}");
+                }
+            }
+            assert_eq!(fast.len(), reference.len(), "step {i}");
+        }
     }
 }

@@ -200,6 +200,17 @@ impl SimConfig {
         self
     }
 
+    /// Runs the kernel on the original hash/tree-backed OS structures
+    /// (`HashMap` page tables and page registry, `Vec` rmap chains,
+    /// `BTreeSet` buddy free lists) instead of the frame-indexed fast
+    /// structures. Functionally identical — same `HwAction` streams,
+    /// SimMetrics, and Merkle roots; exists for the equivalence tests
+    /// that prove it.
+    pub fn with_reference_structures(mut self) -> Self {
+        self.kernel = self.kernel.with_reference_structures();
+        self
+    }
+
     /// Shrinks physical memory (faster tests).
     pub fn with_phys_bytes(mut self, bytes: u64) -> Self {
         self.kernel.phys_bytes = bytes;

@@ -36,6 +36,7 @@ pub mod mariadbwl;
 pub mod noncopy;
 pub mod rediswl;
 pub mod shellwl;
+pub mod stormwl;
 
 use lelantus_os::OsError;
 use lelantus_sim::{NullProbe, Probe, SimMetrics, System};

@@ -32,7 +32,7 @@ use lelantus::sim::{
 use lelantus::types::PageSize;
 use lelantus::workloads::{
     bootwl::Boot, compilewl::Compile, forkbench::Forkbench, hotspot::Hotspot, mariadbwl::Mariadb,
-    noncopy::NonCopy, rediswl::Redis, shellwl::Shell, Workload, WorkloadRun,
+    noncopy::NonCopy, rediswl::Redis, shellwl::Shell, stormwl::Storm, Workload, WorkloadRun,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -57,6 +57,11 @@ fn usage() -> ExitCode {
   lelantus tail    [--pages 4k|2m] [--scale ...] [--workers <n>] [--json] [--top-k <n>]
                    (fig11-style sweep: p50/p99/p999 fault latency for every paper workload x
                     scheme; records into BENCH_RESULTS.json)
+  lelantus storm   [--tenants <n>] [--depth <n>] [--region-kb <n>] [--touched <n>]
+                   [--workers <n>] [--small] [--json]
+                   (fork-storm multi-tenant kernel-plane sweep: every scheme at
+                    1024 tenants x 1152-page regions by default; records throughput,
+                    fault tails and resident pages into BENCH_RESULTS.json)
   lelantus bench-diff <baseline.json> <candidate.json> [--tolerance <frac>] [--json]
 
 workloads: {}
@@ -74,7 +79,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        if key == "json" || key == "tail" {
+        if key == "json" || key == "tail" || key == "small" {
             flags.insert(key.to_string(), "true".into());
             continue;
         }
@@ -1088,6 +1093,155 @@ fn tail_sweep(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lelantus storm`: the fork-storm multi-tenant kernel-plane sweep.
+/// Runs [`Storm`] at full scale (1024 tenants × 1024-page regions — a
+/// million-plus live 4 KB pages) on every scheme with the per-fault
+/// span recorder, and records per-scheme kernel-op throughput, fault
+/// tail percentiles and resident pages into `BENCH_RESULTS.json`.
+fn storm_sweep(flags: &HashMap<String, String>) -> ExitCode {
+    let mut storm = if flags.contains_key("small") { Storm::small() } else { Storm::full() };
+    let parse_u64 = |key: &str| -> Result<Option<u64>, ExitCode> {
+        match flags.get(key) {
+            None => Ok(None),
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => {
+                    eprintln!("error: --{key} needs a positive integer");
+                    Err(usage())
+                }
+            },
+        }
+    };
+    match parse_u64("tenants") {
+        Ok(Some(n)) => storm.tenants = n,
+        Ok(None) => {}
+        Err(e) => return e,
+    }
+    match parse_u64("depth") {
+        Ok(Some(n)) => storm.fork_depth = n,
+        Ok(None) => {}
+        Err(e) => return e,
+    }
+    match parse_u64("touched") {
+        Ok(Some(n)) => storm.touched_pages_per_child = n,
+        Ok(None) => {}
+        Err(e) => return e,
+    }
+    match parse_u64("region-kb") {
+        Ok(Some(n)) => storm.region_bytes = n * 1024,
+        Ok(None) => {}
+        Err(e) => return e,
+    }
+    let workers: usize = match flags.get("workers").map(String::as_str).unwrap_or("0").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --workers needs a non-negative worker count (0 = serial engine)");
+            return usage();
+        }
+    };
+    let json = flags.contains_key("json");
+
+    let phys = storm.phys_bytes();
+    let target_pages = storm.tenants * storm.region_bytes / 4096;
+    if !json {
+        println!(
+            "fork storm: {} tenants × depth {} over {} KB regions \
+             ({target_pages} resident 4K pages, {} MB phys)",
+            storm.tenants,
+            storm.fork_depth,
+            storm.region_bytes >> 10,
+            phys >> 20
+        );
+        println!(
+            "  {:<16} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+            "scheme", "kernel ops", "ops/s", "p50", "p99", "p999", "live pages"
+        );
+    }
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
+    for strategy in CowStrategy::all() {
+        let mut cfg = SimConfig::new(strategy, PageSize::Regular4K)
+            .with_phys_bytes(phys)
+            .with_tail_recorder();
+        if workers > 0 {
+            cfg = cfg.with_parallel(workers);
+        }
+        let mut sys = System::new(cfg);
+        let fail = |e| -> ! {
+            eprintln!("simulation failed (storm/{strategy}): {e}");
+            std::process::exit(1);
+        };
+        let state = storm.setup(&mut sys).unwrap_or_else(|e| fail(e));
+        let stats_before = sys.kernel().stats();
+        let wall_start = std::time::Instant::now();
+        storm.measure(&mut sys, &state).unwrap_or_else(|e| fail(e));
+        let wall_s = wall_start.elapsed().as_secs_f64();
+        let delta = sys.kernel().stats().delta_since(&stats_before);
+        // Kernel-plane operations the storm drives: forks, faults of
+        // every kind, and page releases. This is the figure the O(1)
+        // structures exist to scale.
+        let kernel_ops = delta.forks + delta.cow_faults + delta.reuse_faults + delta.pages_freed;
+        let ops_per_s = kernel_ops as f64 / wall_s.max(1e-9);
+        let end = sys.kernel().stats();
+        let live_pages = end.pages_allocated - end.pages_freed;
+        let s = sys
+            .tail_recorder()
+            .map(|t| t.summary())
+            .expect("tail recorder was enabled for every storm run");
+        records.push(Record::with_scheme(
+            "storm_ops_per_s",
+            strategy.to_string(),
+            ops_per_s,
+            "ops/s",
+        ));
+        for (metric, value) in
+            [("storm_fault_p50", s.p50), ("storm_fault_p99", s.p99), ("storm_fault_p999", s.p999)]
+        {
+            records.push(Record::with_scheme(metric, strategy.to_string(), value as f64, "cycles"));
+        }
+        records.push(Record::with_scheme(
+            "storm_live_pages",
+            strategy.to_string(),
+            live_pages as f64,
+            "pages",
+        ));
+        if json {
+            rows.push(format!(
+                "\"{strategy}\":{{\"kernel_ops\":{kernel_ops},\"ops_per_s\":{ops_per_s:.1},\
+                 \"wall_s\":{wall_s:.3},\"live_pages\":{live_pages},\"tail\":{}}}",
+                tail_summary_json(&s)
+            ));
+        } else {
+            println!(
+                "  {:<16} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+                strategy.to_string(),
+                kernel_ops,
+                format!("{ops_per_s:.0}"),
+                s.p50,
+                s.p99,
+                s.p999,
+                live_pages
+            );
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    if json {
+        println!(
+            "{{\"tenants\":{},\"fork_depth\":{},\"region_bytes\":{},\"target_pages\":{target_pages},\
+             \"wall_clock_s\":{wall:.3},\"schemes\":{{{}}}}}",
+            storm.tenants,
+            storm.fork_depth,
+            storm.region_bytes,
+            rows.join(","),
+        );
+    } else {
+        println!("  ({wall:.1}s wall clock; records written to BENCH_RESULTS.json)");
+    }
+    emit("storm", wall, &records);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -1115,6 +1269,13 @@ fn main() -> ExitCode {
         },
         "tail" => match parse_flags(&args[1..]) {
             Ok(flags) => tail_sweep(&flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "storm" => match parse_flags(&args[1..]) {
+            Ok(flags) => storm_sweep(&flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -178,6 +178,173 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fast O(1) kernel structures vs the original reference structures
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Drive the identical random syscall/fault soup through a kernel
+    /// on the fast frame-indexed structures and one on the original
+    /// map-based reference structures. Every observable must agree at
+    /// every step: syscall results, fault outcomes, emitted `HwAction`
+    /// streams, kernel stats, allocator free bytes, live pids, and the
+    /// final translation of every mapped page. This is the direct
+    /// structure-level counterpart of the workload matrix in
+    /// `kernel_structures_equivalence.rs`.
+    #[test]
+    fn prop_kernel_structures_match_reference(
+        strategy_idx in 0usize..4,
+        ops in prop::collection::vec((0u8..10, 0u64..64, 0u64..8), 1..200)
+    ) {
+        let strategy = CowStrategy::all()[strategy_idx];
+        let config = KernelConfig {
+            phys_bytes: 64 << 20,
+            ..KernelConfig::default_with(strategy)
+        };
+        let mut fast = Kernel::new(config);
+        let mut reference = Kernel::new(config.with_reference_structures());
+        let root_f = fast.spawn_init();
+        let root_r = reference.spawn_init();
+        prop_assert_eq!(root_f, root_r);
+
+        let mut pids = vec![root_f];
+        // (pid, start, pages, page_size) of every live mapping.
+        let mut vmas: Vec<(u64, u64, u64, PageSize)> = Vec::new();
+        let pick = |v: u64, n: usize| v as usize % n;
+
+        for (step, (op, a, b)) in ops.into_iter().enumerate() {
+            match op {
+                // mmap a fresh 4K region.
+                0 => {
+                    let pid = pids[pick(a, pids.len())];
+                    let pages = b % 8 + 1;
+                    let got_f = fast.mmap_anon(pid, pages * 4096, PageSize::Regular4K);
+                    let got_r = reference.mmap_anon(pid, pages * 4096, PageSize::Regular4K);
+                    prop_assert_eq!(&got_f, &got_r, "mmap diverged at step {}", step);
+                    if let Ok(va) = got_f {
+                        vmas.push((pid, va.as_u64(), pages, PageSize::Regular4K));
+                    }
+                }
+                // Occasionally mmap one huge page.
+                1 => {
+                    let pid = pids[pick(a, pids.len())];
+                    let got_f = fast.mmap_anon(pid, 2 << 20, PageSize::Huge2M);
+                    let got_r = reference.mmap_anon(pid, 2 << 20, PageSize::Huge2M);
+                    prop_assert_eq!(&got_f, &got_r, "huge mmap diverged at step {}", step);
+                    if let Ok(va) = got_f {
+                        vmas.push((pid, va.as_u64(), 1, PageSize::Huge2M));
+                    }
+                }
+                // Writes (the CoW fault path) and reads.
+                2..=4 if !vmas.is_empty() => {
+                    let (pid, start, pages, size) = vmas[pick(a, vmas.len())];
+                    let target = VirtAddr::new(start + b % pages * size.bytes() + a % 64);
+                    let kind = if op == 4 { AccessKind::Read } else { AccessKind::Write };
+                    let got_f = fast.access(pid, target, kind);
+                    let got_r = reference.access(pid, target, kind);
+                    prop_assert_eq!(got_f, got_r, "access diverged at step {}", step);
+                }
+                // Fork while there is room; exit once crowded.
+                5 => {
+                    if pids.len() < 6 {
+                        let parent = pids[pick(a, pids.len())];
+                        let got_f = fast.fork(parent);
+                        let got_r = reference.fork(parent);
+                        prop_assert_eq!(&got_f, &got_r, "fork diverged at step {}", step);
+                        if let Ok((child, _)) = got_f {
+                            let inherited: Vec<_> = vmas
+                                .iter()
+                                .filter(|v| v.0 == parent)
+                                .map(|&(_, s, p, z)| (child, s, p, z))
+                                .collect();
+                            vmas.extend(inherited);
+                            pids.push(child);
+                        }
+                    } else {
+                        let victim = pids.remove(pick(a, pids.len()));
+                        let got_f = fast.exit(victim);
+                        let got_r = reference.exit(victim);
+                        prop_assert_eq!(got_f, got_r, "exit diverged at step {}", step);
+                        vmas.retain(|v| v.0 != victim);
+                    }
+                }
+                // Tear down one mapping.
+                6 if !vmas.is_empty() => {
+                    let slot = pick(a, vmas.len());
+                    let (pid, start, _, _) = vmas.swap_remove(slot);
+                    let got_f = fast.munmap(pid, VirtAddr::new(start));
+                    let got_r = reference.munmap(pid, VirtAddr::new(start));
+                    prop_assert_eq!(got_f, got_r, "munmap diverged at step {}", step);
+                }
+                // madvise(DONTNEED) over an aligned prefix of a VMA.
+                7 if !vmas.is_empty() => {
+                    let (pid, start, pages, size) = vmas[pick(a, vmas.len())];
+                    let len = (b % pages + 1) * size.bytes();
+                    let got_f = fast.madvise_dontneed(pid, VirtAddr::new(start), len);
+                    let got_r = reference.madvise_dontneed(pid, VirtAddr::new(start), len);
+                    prop_assert_eq!(got_f, got_r, "madvise diverged at step {}", step);
+                }
+                // Toggle VMA write permission.
+                8 if !vmas.is_empty() => {
+                    let (pid, start, _, _) = vmas[pick(a, vmas.len())];
+                    let writable = b % 2 == 0;
+                    let got_f = fast.mprotect(pid, VirtAddr::new(start), writable);
+                    let got_r = reference.mprotect(pid, VirtAddr::new(start), writable);
+                    prop_assert_eq!(got_f, got_r, "mprotect diverged at step {}", step);
+                }
+                // KSM-style merge: remap a 4K page onto another pid's
+                // private frame.
+                9 if vmas.len() >= 2 => {
+                    let (dst_pid, dst_start, dst_pages, dst_size) = vmas[pick(a, vmas.len())];
+                    let (src_pid, src_start, src_pages, src_size) = vmas[pick(b, vmas.len())];
+                    if dst_size != PageSize::Regular4K || src_size != PageSize::Regular4K {
+                        continue;
+                    }
+                    let dst_va = VirtAddr::new(dst_start + a % dst_pages * 4096);
+                    let src_va = VirtAddr::new(src_start + b % src_pages * 4096);
+                    let target_f = fast.translate(src_pid, src_va).map(|pa| pa.align_to(4096));
+                    let target_r =
+                        reference.translate(src_pid, src_va).map(|pa| pa.align_to(4096));
+                    prop_assert_eq!(target_f, target_r, "ksm target diverged at step {}", step);
+                    let Some(target) = target_f else { continue };
+                    if target == fast.zero_page_4k()
+                        || target.align_to(2 << 20) == fast.zero_page_2m()
+                    {
+                        continue;
+                    }
+                    let got_f = fast.ksm_remap(dst_pid, dst_va, target);
+                    let got_r = reference.ksm_remap(dst_pid, dst_va, target);
+                    prop_assert_eq!(got_f, got_r, "ksm_remap diverged at step {}", step);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(fast.stats(), reference.stats(), "stats diverged at step {}", step);
+            prop_assert_eq!(
+                fast.free_bytes(),
+                reference.free_bytes(),
+                "free bytes diverged at step {}", step
+            );
+        }
+
+        // Endgame: every mapped page translates identically and the
+        // live process sets agree.
+        prop_assert_eq!(fast.live_pids(), reference.live_pids());
+        for (pid, start, pages, size) in vmas {
+            for page in 0..pages {
+                let va = VirtAddr::new(start + page * size.bytes());
+                prop_assert_eq!(
+                    fast.translate(pid, va),
+                    reference.translate(pid, va),
+                    "final translation diverged for pid {} at {}", pid, va
+                );
+                prop_assert_eq!(fast.pte_info(pid, va), reference.pte_info(pid, va));
+            }
+        }
+    }
+}
+
 #[test]
 fn kernel_fork_sharing_is_reference_counted_exactly() {
     // Deterministic cross-check of mapcounts against a reference count.
