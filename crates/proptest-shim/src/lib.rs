@@ -69,6 +69,93 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (real proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Constant strategy (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice over boxed strategies; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Default for OneOf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OneOf<T> {
+    /// An empty choice; sampling panics until an arm is added.
+    pub fn new() -> Self {
+        Self { arms: Vec::new() }
+    }
+
+    /// Adds an arm with relative `weight`.
+    pub fn or(mut self, weight: u32, s: impl Strategy<Value = T> + 'static) -> Self {
+        assert!(weight > 0, "prop_oneof! weights must be positive");
+        self.arms.push((weight, Box::new(s)));
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weights sum covers the sampled range")
+    }
+}
+
+/// `prop_oneof! { w1 => s1, w2 => s2, ... }` (or unweighted arms):
+/// picks one arm per sample, weighted (real proptest's macro, minus
+/// shrinking across arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.or($weight, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.or(1, $strat))+
+    };
 }
 
 // ---- integer / bool strategies ----------------------------------------
@@ -89,7 +176,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Marker returned by [`any`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -113,7 +200,7 @@ macro_rules! impl_any {
         }
     )*};
 }
-impl_any!(u8, u16, u32, u64, usize, bool);
+impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
 
 // ---- tuple strategies --------------------------------------------------
 
@@ -206,8 +293,8 @@ pub mod prop {
 /// Everything a test module imports.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
     };
 }
 

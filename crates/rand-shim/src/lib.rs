@@ -120,7 +120,7 @@ macro_rules! impl_sample_uniform_signed {
         }
     )*};
 }
-impl_sample_uniform_signed!(i32, i64, isize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
 
 /// Ranges accepted by [`Rng::gen_range`].
 pub trait SampleRange<T> {

@@ -75,6 +75,22 @@ impl AccessBatch {
         Self::default()
     }
 
+    /// Creates an empty batch pre-sized for `ops` queued operations
+    /// and `data_bytes` of explicit-write payload, so generators that
+    /// know their shape up front (one op per touched line, one payload
+    /// byte per written byte) never regrow the vectors mid-build.
+    pub fn with_capacity(ops: usize, data_bytes: usize) -> Self {
+        Self { ops: Vec::with_capacity(ops), data: Vec::with_capacity(data_bytes) }
+    }
+
+    /// Grows the backing vectors for at least `ops` more operations
+    /// and `data_bytes` more payload (the in-place counterpart of
+    /// [`AccessBatch::with_capacity`] for reused scratch batches).
+    pub fn reserve(&mut self, ops: usize, data_bytes: usize) {
+        self.ops.reserve(ops);
+        self.data.reserve(data_bytes);
+    }
+
     /// Drops all queued ops, keeping capacity.
     pub fn clear(&mut self) {
         self.ops.clear();

@@ -44,6 +44,8 @@ pub mod batch;
 pub mod config;
 pub mod metrics;
 pub mod parallel;
+pub mod record;
+pub mod replay;
 pub mod shard;
 pub mod system;
 pub mod tlb;
@@ -52,8 +54,14 @@ pub use batch::AccessBatch;
 pub use config::SimConfig;
 pub use metrics::{EpochSample, SimMetrics};
 pub use parallel::{ParStats, ParallelEngine, ShardReport};
+pub use record::TraceRecorder;
+pub use replay::{replay, replay_checked, ReplayError, ReplayStats};
 pub use shard::{ShardSet, ShardState, ShardStats};
 pub use system::{Snapshot, System};
+
+// Re-export the trace format so replay/record callers can open files
+// and build headers without naming the trace crate themselves.
+pub use lelantus_trace::{Trace, TraceError, TraceHeader, TraceTotals};
 
 // Re-export the observability surface so downstream crates (workloads,
 // benches, the CLI) can name probes without depending on lelantus-obs

@@ -1,9 +1,10 @@
 //! The [`System`]: one simulated machine.
 
-use crate::batch::{AccessBatch, OpKind};
+use crate::batch::{AccessBatch, BatchOp, OpKind};
 use crate::config::SimConfig;
 use crate::metrics::{EpochSample, SimMetrics};
 use crate::parallel::{ParStats, ShardReport};
+use crate::record::TraceRecorder;
 use crate::shard::ShardSet;
 use crate::tlb::{Tlb, TlbEntry, TlbOutcome};
 use lelantus_cache::CacheHierarchy;
@@ -69,6 +70,10 @@ pub struct System<P: Probe = NullProbe> {
     /// engine). Plain owned data like everything else, so snapshots
     /// carry the materialized shard slices along.
     par: Option<ShardSet>,
+    /// Trace recorder (`None` unless [`System::record_into`] attached
+    /// one). A shared handle: cloned systems append to the same sink.
+    /// Off-cost is one branch per state-changing call.
+    rec: Option<TraceRecorder>,
 }
 
 impl System {
@@ -120,8 +125,30 @@ impl<P: Probe> System<P> {
             epoch_tail_last: HdrHistogram::default(),
             seg_scratch: Vec::new(),
             par,
+            rec: None,
             config,
         }
+    }
+
+    /// Attaches a [`TraceRecorder`]: every subsequent state-changing
+    /// call is appended to the trace, including the pids and addresses
+    /// the kernel hands out (so replays can verify they stay on the
+    /// recorded trajectory). Recording is host-side only — simulated
+    /// time, metrics, events and state are bit-identical to an
+    /// unrecorded run.
+    pub fn record_into(&mut self, rec: TraceRecorder) {
+        self.rec = Some(rec);
+    }
+
+    /// Detaches and returns the recorder (call
+    /// [`TraceRecorder::finish`] on it to seal the trace).
+    pub fn stop_recording(&mut self) -> Option<TraceRecorder> {
+        self.rec.take()
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.rec.as_ref()
     }
 
     /// The per-fault tail recorder (`None` unless the system was built
@@ -208,6 +235,9 @@ impl<P: Probe> System<P> {
     pub fn use_core(&mut self, core: usize) {
         assert!(core < self.clocks.len(), "core {core} out of range");
         self.active = core;
+        if let Some(rec) = &self.rec {
+            rec.use_core(core);
+        }
     }
 
     /// The active core's current time.
@@ -215,9 +245,25 @@ impl<P: Probe> System<P> {
         self.clocks[self.active]
     }
 
+    /// Number of CPU cores (valid [`System::use_core`] targets are
+    /// `0..cores()`).
+    pub fn cores(&self) -> usize {
+        self.clocks.len()
+    }
+
     /// Synchronizes every core to the latest clock (a barrier — e.g.
     /// `waitpid`, or the start of a measured phase).
     pub fn sync_cores(&mut self) {
+        self.sync_cores_inner();
+        if let Some(rec) = &self.rec {
+            rec.sync_cores();
+        }
+    }
+
+    /// [`System::sync_cores`] without the trace-recording hook, for
+    /// internal barriers ([`System::finish`]) that a replayed trace
+    /// already implies.
+    fn sync_cores_inner(&mut self) {
         debug_assert!(!self.clocks.is_empty(), "a system always boots with cores");
         let max = self.clocks.iter().copied().max().unwrap_or(Cycles::ZERO);
         for c in &mut self.clocks {
@@ -315,13 +361,19 @@ impl<P: Probe> System<P> {
         // Flushing deferred maintenance has the same (stub-hashed)
         // walk effects in both modes; the stub root is discarded.
         let root = self.ctrl.merkle_root();
-        match &mut self.par {
+        let root = match &mut self.par {
             Some(par) => {
                 par.dispatch_from(&mut self.ctrl);
                 par.true_root()
             }
             None => root,
+        };
+        // Recorded with its value: root queries flush metadata (state
+        // changes), and the stored root doubles as a replay oracle.
+        if let Some(rec) = &self.rec {
+            rec.merkle_root(root);
         }
+        root
     }
 
     /// Dispatches a parallel batch when the controller's data-plane
@@ -397,7 +449,11 @@ impl<P: Probe> System<P> {
     /// Creates the initial process.
     pub fn spawn_init(&mut self) -> ProcessId {
         self.bump(CycleCategory::CpuOp, self.config.op_cost);
-        self.kernel.spawn_init()
+        let pid = self.kernel.spawn_init();
+        if let Some(rec) = &self.rec {
+            rec.spawn_init(pid);
+        }
+        pid
     }
 
     /// Maps `len` bytes of anonymous memory using the configured page
@@ -422,7 +478,11 @@ impl<P: Probe> System<P> {
         page_size: PageSize,
     ) -> Result<VirtAddr, OsError> {
         self.bump(CycleCategory::CpuOp, self.config.op_cost);
-        self.kernel.mmap_anon(pid, len, page_size)
+        let va = self.kernel.mmap_anon(pid, len, page_size)?;
+        if let Some(rec) = &self.rec {
+            rec.mmap(pid, len, page_size, va);
+        }
+        Ok(va)
     }
 
     /// Forks `parent`, executing the kernel's cache-maintenance
@@ -445,6 +505,9 @@ impl<P: Probe> System<P> {
             });
         }
         self.epoch_tick();
+        if let Some(rec) = &self.rec {
+            rec.fork(parent, child);
+        }
         Ok(child)
     }
 
@@ -460,6 +523,9 @@ impl<P: Probe> System<P> {
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
         self.epoch_tick();
+        if let Some(rec) = &self.rec {
+            rec.exit(pid);
+        }
         Ok(())
     }
 
@@ -526,6 +592,9 @@ impl<P: Probe> System<P> {
         let actions = self.kernel.munmap(pid, vma_start)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
+        if let Some(rec) = &self.rec {
+            rec.munmap(pid, vma_start);
+        }
         Ok(())
     }
 
@@ -545,6 +614,9 @@ impl<P: Probe> System<P> {
         let actions = self.kernel.madvise_dontneed(pid, va, len)?;
         self.tlb.invalidate_pid(pid);
         self.execute_actions(&actions);
+        if let Some(rec) = &self.rec {
+            rec.madvise_dontneed(pid, va, len);
+        }
         Ok(())
     }
 
@@ -563,6 +635,9 @@ impl<P: Probe> System<P> {
         self.bump(CycleCategory::PageFault, self.config.fault_cost);
         self.kernel.mprotect(pid, vma_start, writable)?;
         self.tlb.invalidate_pid(pid);
+        if let Some(rec) = &self.rec {
+            rec.mprotect(pid, vma_start, writable);
+        }
         Ok(())
     }
 
@@ -715,6 +790,22 @@ impl<P: Probe> System<P> {
         va: VirtAddr,
         bytes: &[u8],
     ) -> Result<(), OsError> {
+        self.write_bytes_inner(pid, va, bytes)?;
+        if let Some(rec) = &self.rec {
+            rec.write(pid, va, bytes);
+        }
+        Ok(())
+    }
+
+    /// [`System::write_bytes`] without the trace-recording hook (used
+    /// by the reference batch path, whose caller records the whole
+    /// batch once).
+    fn write_bytes_inner(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        bytes: &[u8],
+    ) -> Result<(), OsError> {
         let mut offset = 0usize;
         while offset < bytes.len() {
             let cur = va + offset as u64;
@@ -768,6 +859,9 @@ impl<P: Probe> System<P> {
             offset += take;
         }
         self.epoch_tick();
+        if let Some(rec) = &self.rec {
+            rec.write_nt(pid, va, bytes);
+        }
         Ok(())
     }
 
@@ -777,6 +871,20 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn read_bytes(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        len: usize,
+    ) -> Result<Vec<u8>, OsError> {
+        let out = self.read_bytes_inner(pid, va, len)?;
+        if let Some(rec) = &self.rec {
+            rec.read(pid, va, len);
+        }
+        Ok(out)
+    }
+
+    /// [`System::read_bytes`] without the trace-recording hook.
+    fn read_bytes_inner(
         &mut self,
         pid: ProcessId,
         va: VirtAddr,
@@ -801,6 +909,21 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors.
     pub fn write_pattern(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        len: usize,
+        tag: u8,
+    ) -> Result<(), OsError> {
+        self.write_pattern_inner(pid, va, len, tag)?;
+        if let Some(rec) = &self.rec {
+            rec.pattern(pid, va, len, tag);
+        }
+        Ok(())
+    }
+
+    /// [`System::write_pattern`] without the trace-recording hook.
+    fn write_pattern_inner(
         &mut self,
         pid: ProcessId,
         va: VirtAddr,
@@ -841,10 +964,38 @@ impl<P: Probe> System<P> {
     ///
     /// Propagates kernel errors (unmapped address, OOM...).
     pub fn run_batch(&mut self, pid: ProcessId, batch: &AccessBatch) -> Result<(), OsError> {
+        self.run_batch_parts(pid, &batch.ops, &batch.data)
+    }
+
+    /// [`System::run_batch`] over borrowed parts, so the trace replay
+    /// loop can feed ops decoded straight out of a mapped `.ltr` file
+    /// without materializing an [`AccessBatch`].
+    pub(crate) fn run_batch_parts(
+        &mut self,
+        pid: ProcessId,
+        ops: &[BatchOp],
+        data: &[u8],
+    ) -> Result<(), OsError> {
         let _prof = selfprof::scope("sim::run_batch");
         if self.config.reference_access_path {
-            return self.run_batch_reference(pid, batch);
+            self.run_batch_reference(pid, ops, data)?;
+        } else {
+            self.run_batch_fast(pid, ops, data)?;
         }
+        if let Some(rec) = &self.rec {
+            rec.batch(pid, ops, data);
+        }
+        Ok(())
+    }
+
+    /// The batched run-cache driver (everything [`System::run_batch`]
+    /// documents, minus reference-path dispatch and recording).
+    fn run_batch_fast(
+        &mut self,
+        pid: ProcessId,
+        ops: &[BatchOp],
+        data: &[u8],
+    ) -> Result<(), OsError> {
         // The current run's translation: `(page va base, pa base,
         // page bytes, writable)`. Invariant: when `Some`, it equals the
         // TLB front cache entry (both are "the most recent successful
@@ -856,7 +1007,7 @@ impl<P: Probe> System<P> {
         // Scratch line for pattern stores, refilled only on tag change.
         let mut tag_line = [0u8; LINE_BYTES];
         let mut tag_cur = 0u8;
-        for op in &batch.ops {
+        for op in ops {
             let len = op.len as usize;
             let mut offset = 0usize;
             while offset < len {
@@ -895,7 +1046,7 @@ impl<P: Probe> System<P> {
                     }
                     OpKind::Write { data_off } => {
                         let start = data_off as usize + offset;
-                        let bytes = &batch.data[start..start + take];
+                        let bytes = &data[start..start + take];
                         let tail_ctx = self.tail_store_ctx();
                         let done = self.caches.store(pa, bytes, now, &mut self.ctrl);
                         self.advance_to(done, CycleCategory::CacheSram);
@@ -924,20 +1075,26 @@ impl<P: Probe> System<P> {
     }
 
     /// The reference shape of [`System::run_batch`]: replays each op
-    /// through the unmodified per-line access path.
-    fn run_batch_reference(&mut self, pid: ProcessId, batch: &AccessBatch) -> Result<(), OsError> {
-        for op in &batch.ops {
+    /// through the unmodified per-line access path (the unrecorded
+    /// inner variants — the caller records the batch as one record).
+    fn run_batch_reference(
+        &mut self,
+        pid: ProcessId,
+        ops: &[BatchOp],
+        data: &[u8],
+    ) -> Result<(), OsError> {
+        for op in ops {
             let len = op.len as usize;
             match op.kind {
                 OpKind::Read => {
-                    self.read_bytes(pid, op.va, len)?;
+                    self.read_bytes_inner(pid, op.va, len)?;
                 }
                 OpKind::Write { data_off } => {
                     let start = data_off as usize;
-                    self.write_bytes(pid, op.va, &batch.data[start..start + len])?;
+                    self.write_bytes_inner(pid, op.va, &data[start..start + len])?;
                 }
                 OpKind::Pattern { tag } => {
-                    self.write_pattern(pid, op.va, len, tag)?;
+                    self.write_pattern_inner(pid, op.va, len, tag)?;
                 }
             }
         }
@@ -973,6 +1130,9 @@ impl<P: Probe> System<P> {
         // Merging rewrites PTEs across processes: full shootdown.
         self.tlb.flush_all();
         self.bump(CycleCategory::PageFault, self.config.fault_cost);
+        if let Some(rec) = &self.rec {
+            rec.ksm_merge(candidates);
+        }
         Ok(report.merged)
     }
 
@@ -1011,6 +1171,9 @@ impl<P: Probe> System<P> {
         self.epoch_ledger_last = self.ledger;
         self.epoch_hists_last = self.probe_hists();
         self.epoch_tail_last = self.tail_hist();
+        if let Some(rec) = &self.rec {
+            rec.crash_recover();
+        }
         Ok(report)
     }
 
@@ -1018,6 +1181,9 @@ impl<P: Probe> System<P> {
     /// measured phase starts from a clean slate (Fig 10c/d).
     pub fn reset_footprint(&mut self) {
         self.ctrl.reset_footprint();
+        if let Some(rec) = &self.rec {
+            rec.reset_footprint();
+        }
     }
 
     /// Metrics snapshot (does not flush buffered writes; see
@@ -1039,13 +1205,19 @@ impl<P: Probe> System<P> {
     /// returns final metrics. The system remains usable (caches warm).
     pub fn finish(&mut self) -> SimMetrics {
         let _prof = selfprof::scope("sim::finish");
-        self.sync_cores();
+        // One `Finish` trace record stands for this whole sequence
+        // (replay calls `finish()` itself), so the internal barriers
+        // use the unrecorded variant.
+        if let Some(rec) = &self.rec {
+            rec.finish_event();
+        }
+        self.sync_cores_inner();
         let now = self.now();
         let t = self.caches.writeback_all(now, &mut self.ctrl);
         self.advance_to(t, CycleCategory::CacheSram);
         let t = self.ctrl.flush_all(self.clocks[self.active]);
         self.advance_to(t, CycleCategory::Other);
-        self.sync_cores();
+        self.sync_cores_inner();
         // Final epoch barrier: the flushes above may have logged more
         // data-plane ops; the shard slices must be complete when the
         // run's results are read.
@@ -1072,6 +1244,11 @@ impl<P: Probe> System<P> {
     /// fork-size sweep) take one snapshot after the warm-up and fork
     /// every sweep point from it instead of replaying the warm-up per
     /// point.
+    ///
+    /// Snapshotting while a [`TraceRecorder`] is attached is
+    /// unsupported: the recorder is a shared handle, so the snapshot
+    /// and the live system would interleave records in one sink. Stop
+    /// recording first.
     pub fn snapshot(&self) -> Snapshot<P> {
         Snapshot { state: self.clone() }
     }

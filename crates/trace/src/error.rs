@@ -1,0 +1,85 @@
+//! Typed errors for malformed traces.
+
+/// Everything that can go wrong opening or decoding a `.ltr` file.
+///
+/// Each malformation class is a distinct variant so callers (the CLI
+/// in particular) can report precisely what is wrong and exit
+/// non-zero without panicking.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// The file does not start with the `LTRC` magic: not a trace.
+    BadMagic,
+    /// The format version is one this build does not understand.
+    BadVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The file is cut short: too small for header + footer, or the
+    /// trailing `LTRE` magic is missing.
+    Truncated,
+    /// Header + body bytes do not hash to the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Checksum computed over the file contents.
+        computed: u64,
+    },
+    /// The header fields are inconsistent (e.g. unknown page size).
+    BadHeader {
+        /// What is wrong.
+        reason: &'static str,
+    },
+    /// A body record failed to decode (only reachable on files whose
+    /// checksum was forged to match, i.e. writer bugs or crafted
+    /// input — never on honest corruption).
+    BadRecord {
+        /// Byte offset of the record within the file.
+        offset: usize,
+        /// What is wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a .ltr trace (bad magic)"),
+            TraceError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace format version {found} (this build reads version {})",
+                    crate::format::FORMAT_VERSION
+                )
+            }
+            TraceError::Truncated => write!(f, "trace file is truncated (footer missing)"),
+            TraceError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            TraceError::BadHeader { reason } => write!(f, "bad trace header: {reason}"),
+            TraceError::BadRecord { offset, reason } => {
+                write!(f, "bad trace record at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,170 @@
+//! Read-only file mappings with a buffered-read fallback.
+//!
+//! Unix targets map the file with a direct `mmap(2)` FFI call (`std`
+//! already links libc, so no new dependency); everywhere else — and
+//! whenever mapping fails, e.g. on an empty file or an exotic
+//! filesystem — the file is read into an owned buffer instead. Both
+//! shapes expose one contiguous `&[u8]`, so the reader above is
+//! agnostic.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// A read-only view of a whole file: memory-mapped when possible,
+/// owned otherwise.
+#[derive(Debug)]
+pub enum Mapping {
+    /// Bytes read (or handed) into process memory.
+    Owned(Vec<u8>),
+    /// A live `mmap(2)` mapping, unmapped on drop.
+    #[cfg(unix)]
+    Mapped(unix::Map),
+}
+
+impl Mapping {
+    /// Maps `path`, falling back to a buffered read.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        if let Some(map) = unix::Map::new(&file, len) {
+            return Ok(Mapping::Mapped(map));
+        }
+        let mut buf = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut buf)?;
+        Ok(Mapping::Owned(buf))
+    }
+
+    /// Reads `path` into an owned buffer, never mapping (the fallback
+    /// path, kept directly reachable for tests and non-mmap targets).
+    pub fn read(path: &Path) -> io::Result<Self> {
+        Ok(Mapping::Owned(std::fs::read(path)?))
+    }
+
+    /// The mapped or owned bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Mapping::Owned(v) => v,
+            #[cfg(unix)]
+            Mapping::Mapped(m) => m.bytes(),
+        }
+    }
+
+    /// True when the bytes come from a live memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            Mapping::Owned(_) => false,
+            #[cfg(unix)]
+            Mapping::Mapped(_) => true,
+        }
+    }
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned read-only mapping (`munmap` on drop).
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime (PROT_READ,
+    // private) and owned uniquely by this struct, so sharing the
+    // borrowed bytes across threads is sound.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file` read-only, or `None` when the
+        /// kernel refuses (zero length, no mmap support...).
+        pub fn new(file: &File, len: u64) -> Option<Self> {
+            if len == 0 || len > usize::MAX as u64 {
+                return None;
+            }
+            let len = len as usize;
+            // SAFETY: a fresh private read-only mapping of a file we
+            // hold open; the kernel validates fd and length.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return None;
+            }
+            Some(Self { ptr: ptr as *const u8, len })
+        }
+
+        #[inline]
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of `len` bytes
+            // owned by `self`; it stays valid until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact region mapped in `new`.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("lelantus-mmap-test-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapping_and_fallback_agree() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let path = temp_file("agree", &data);
+        let mapped = Mapping::open(&path).unwrap();
+        let owned = Mapping::read(&path).unwrap();
+        assert_eq!(mapped.bytes(), owned.bytes());
+        assert!(!owned.is_mapped());
+        #[cfg(unix)]
+        assert!(mapped.is_mapped(), "unix targets should map");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_file("empty", b"");
+        let m = Mapping::open(&path).unwrap();
+        assert!(!m.is_mapped(), "zero-length files cannot be mapped");
+        assert!(m.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,629 @@
+//! Zero-copy `.ltr` decoder.
+
+use crate::error::TraceError;
+use crate::format::{
+    checksum64, unzigzag, uvarint, TraceHeader, TraceOp, TraceOpKind, TraceTotals, FOOTER_LEN,
+    FOOTER_MAGIC, FORMAT_VERSION, HEADER_LEN, HEADER_MAGIC, KIND_PATTERN, KIND_PATTERN_REPEAT,
+    KIND_READ, KIND_WRITE, OP_BATCH, OP_CONTIG, OP_CRASH_RECOVER, OP_EXIT, OP_FINISH, OP_FORK,
+    OP_KSM, OP_MADVISE, OP_MERKLE_ROOT, OP_MMAP, OP_MPROTECT, OP_MUNMAP, OP_RESET_FOOTPRINT,
+    OP_SPAWN, OP_SYNC_CORES, OP_USE_CORE, OP_WRITE_NT,
+};
+use crate::mmap::Mapping;
+use lelantus_types::PageSize;
+use std::path::Path;
+
+/// An open, validated trace: header, footer, and checksum are checked
+/// once at open time, so iteration afterwards touches each body byte
+/// exactly once. On Unix the file is memory-mapped and every payload
+/// slice a [`Record`] hands out borrows the mapping directly.
+#[derive(Debug)]
+pub struct Trace {
+    data: Mapping,
+    header: TraceHeader,
+    totals: TraceTotals,
+}
+
+impl Trace {
+    /// Opens and validates `path`, memory-mapping when possible.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on read failure, otherwise the precise
+    /// malformation: [`TraceError::BadMagic`],
+    /// [`TraceError::BadVersion`], [`TraceError::Truncated`],
+    /// [`TraceError::ChecksumMismatch`], or [`TraceError::BadHeader`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::validate(Mapping::open(path.as_ref())?)
+    }
+
+    /// Opens via the buffered-read fallback (no mapping), for targets
+    /// or callers that cannot mmap. Identical semantics to
+    /// [`Trace::open`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trace::open`].
+    pub fn open_buffered(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::validate(Mapping::read(path.as_ref())?)
+    }
+
+    /// Validates an in-memory trace image (tests, pipes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trace::open`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, TraceError> {
+        Self::validate(Mapping::Owned(bytes))
+    }
+
+    fn validate(data: Mapping) -> Result<Self, TraceError> {
+        let b = data.bytes();
+        if b.len() < 4 {
+            return Err(TraceError::Truncated);
+        }
+        if b[0..4] != HEADER_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        if b.len() < 6 {
+            return Err(TraceError::Truncated);
+        }
+        let version = u16::from_le_bytes(b[4..6].try_into().expect("2 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(TraceError::BadVersion { found: version });
+        }
+        if b.len() < HEADER_LEN + FOOTER_LEN {
+            return Err(TraceError::Truncated);
+        }
+        let n = b.len();
+        if b[n - 4..] != FOOTER_MAGIC {
+            return Err(TraceError::Truncated);
+        }
+        let stored = u64::from_le_bytes(b[n - 12..n - 4].try_into().expect("8 bytes"));
+        let computed = checksum64(&b[..n - FOOTER_LEN]);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+        let header = TraceHeader::decode(&b[..HEADER_LEN])?;
+        let totals = TraceTotals {
+            ops: u64::from_le_bytes(b[n - 28..n - 20].try_into().expect("8 bytes")),
+            records: u64::from_le_bytes(b[n - 20..n - 12].try_into().expect("8 bytes")),
+        };
+        Ok(Self { data, header, totals })
+    }
+
+    /// The recorded geometry.
+    pub fn header(&self) -> TraceHeader {
+        self.header
+    }
+
+    /// Op and record totals from the footer (covered by the checksum).
+    pub fn totals(&self) -> TraceTotals {
+        self.totals
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.data.bytes().len() as u64
+    }
+
+    /// True when the trace is served from a live memory mapping
+    /// rather than an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+
+    /// Iterates the body records in order. Payload slices borrow the
+    /// mapping; nothing is allocated per record.
+    pub fn records(&self) -> Records<'_> {
+        Records {
+            buf: self.data.bytes(),
+            pos: HEADER_LEN,
+            end: self.data.bytes().len() - FOOTER_LEN,
+        }
+    }
+}
+
+/// Iterator over a trace's body records.
+#[derive(Debug, Clone)]
+pub struct Records<'a> {
+    /// The whole file image (offsets below are absolute file offsets,
+    /// which keeps error reports meaningful).
+    buf: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Records<'a> {
+    fn u(&mut self) -> Result<u64, &'static str> {
+        let mut pos = self.pos;
+        let v = uvarint(&self.buf[..self.end], &mut pos).ok_or("bad varint")?;
+        self.pos = pos;
+        Ok(v)
+    }
+
+    fn byte(&mut self) -> Result<u8, &'static str> {
+        if self.pos >= self.end {
+            return Err("record cut short");
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: u64) -> Result<&'a [u8], &'static str> {
+        let n = usize::try_from(n).map_err(|_| "length overflow")?;
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.end).ok_or("record cut short")?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn parse(&mut self) -> Result<Record<'a>, &'static str> {
+        let opcode = self.byte()?;
+        Ok(match opcode {
+            OP_BATCH => {
+                let pid = self.u()?;
+                let nops = self.u()?;
+                let ops_len = self.u()?;
+                let data_len = self.u()?;
+                if data_len > u64::from(u32::MAX) {
+                    return Err("batch arena exceeds 4 GiB");
+                }
+                let base = self.pos;
+                let ops_bytes = self.take(ops_len)?;
+                let data = self.take(data_len)?;
+                Record::Batch(BatchRecord { pid, nops, data, ops_bytes, base })
+            }
+            OP_SPAWN => Record::SpawnInit { pid: self.u()? },
+            OP_MMAP => {
+                let pid = self.u()?;
+                let len = self.u()?;
+                let page_bytes = self.u()?;
+                let page_size = PageSize::all()
+                    .into_iter()
+                    .find(|p| p.bytes() == page_bytes)
+                    .ok_or("unknown mmap page size")?;
+                let va = self.u()?;
+                Record::Mmap { pid, len, page_size, va }
+            }
+            OP_FORK => Record::Fork { parent: self.u()?, child: self.u()? },
+            OP_EXIT => Record::Exit { pid: self.u()? },
+            OP_MUNMAP => Record::Munmap { pid: self.u()?, va: self.u()? },
+            OP_MADVISE => Record::MadviseDontneed { pid: self.u()?, va: self.u()?, len: self.u()? },
+            OP_MPROTECT => {
+                Record::Mprotect { pid: self.u()?, va: self.u()?, writable: self.byte()? != 0 }
+            }
+            OP_KSM => {
+                let n = self.u()?;
+                let bytes = self.u()?;
+                let base = self.pos;
+                let buf = self.take(bytes)?;
+                Record::KsmMerge(KsmPairs { buf, pos: 0, remaining: n, base })
+            }
+            OP_USE_CORE => Record::UseCore { core: self.byte()? },
+            OP_SYNC_CORES => Record::SyncCores,
+            OP_FINISH => Record::Finish,
+            OP_WRITE_NT => {
+                let pid = self.u()?;
+                let va = self.u()?;
+                let len = self.u()?;
+                Record::WriteNt { pid, va, data: self.take(len)? }
+            }
+            OP_CRASH_RECOVER => Record::CrashRecover,
+            OP_RESET_FOOTPRINT => Record::ResetFootprint,
+            OP_MERKLE_ROOT => Record::MerkleRoot { root: self.u()? },
+            _ => return Err("unknown opcode"),
+        })
+    }
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = Result<Record<'a>, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let start = self.pos;
+        match self.parse() {
+            Ok(r) => Some(Ok(r)),
+            Err(reason) => {
+                // A malformed record poisons the rest of the body:
+                // stop rather than resynchronize on garbage.
+                self.pos = self.end;
+                Some(Err(TraceError::BadRecord { offset: start, reason }))
+            }
+        }
+    }
+}
+
+/// One decoded body record. Payload slices (`Batch` arenas, `WriteNt`
+/// data) borrow the trace image.
+#[derive(Debug, Clone)]
+pub enum Record<'a> {
+    /// A batched access run (see [`BatchRecord`]).
+    Batch(BatchRecord<'a>),
+    /// `spawn_init` producing `pid`.
+    SpawnInit {
+        /// The pid the recorded run observed (replays must match).
+        pid: u64,
+    },
+    /// `mmap` of `len` bytes returning base `va`.
+    Mmap {
+        /// Owning process.
+        pid: u64,
+        /// Mapping length in bytes.
+        len: u64,
+        /// Page size the mapping was created with.
+        page_size: PageSize,
+        /// The base the recorded run observed (replays must match).
+        va: u64,
+    },
+    /// `fork` of `parent` producing `child`.
+    Fork {
+        /// Forked process.
+        parent: u64,
+        /// The child pid the recorded run observed.
+        child: u64,
+    },
+    /// `exit`.
+    Exit {
+        /// Exiting process.
+        pid: u64,
+    },
+    /// `munmap` of the VMA at `va`.
+    Munmap {
+        /// Owning process.
+        pid: u64,
+        /// VMA start address.
+        va: u64,
+    },
+    /// `madvise(MADV_DONTNEED)` over `[va, va+len)`.
+    MadviseDontneed {
+        /// Owning process.
+        pid: u64,
+        /// Range start.
+        va: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// `mprotect` of the VMA at `va`.
+    Mprotect {
+        /// Owning process.
+        pid: u64,
+        /// VMA start address.
+        va: u64,
+        /// New write permission.
+        writable: bool,
+    },
+    /// One KSM merge pass over the candidate pairs.
+    KsmMerge(KsmPairs<'a>),
+    /// `use_core`.
+    UseCore {
+        /// Core index (0..=7).
+        core: u8,
+    },
+    /// `sync_cores` barrier.
+    SyncCores,
+    /// `finish` flush point.
+    Finish,
+    /// Non-temporal write of `data` at `va`.
+    WriteNt {
+        /// Writing process.
+        pid: u64,
+        /// Destination address.
+        va: u64,
+        /// Payload (borrowed from the trace image).
+        data: &'a [u8],
+    },
+    /// Power-cycle crash and recovery.
+    CrashRecover,
+    /// Controller footprint reset.
+    ResetFootprint,
+    /// A Merkle-root observation and the value the recorded run saw.
+    MerkleRoot {
+        /// Root over the counter blocks at this point.
+        root: u64,
+    },
+}
+
+/// A batch record: process, op count, the borrowed payload arena, and
+/// the still-packed op stream (decode with [`BatchRecord::ops`]).
+#[derive(Debug, Clone)]
+pub struct BatchRecord<'a> {
+    /// Process the batch runs as.
+    pub pid: u64,
+    /// Number of packed ops.
+    pub nops: u64,
+    /// Payload arena for explicit-data writes — a borrowed slice of
+    /// the trace image (zero-copy all the way into the sim).
+    pub data: &'a [u8],
+    ops_bytes: &'a [u8],
+    /// File offset of the op stream (error reporting).
+    base: usize,
+}
+
+impl<'a> BatchRecord<'a> {
+    /// Decodes the packed op stream. Allocation-free; write ops'
+    /// `data_off` is reconstructed as the running arena offset
+    /// (batches are canonical: writes consume the arena in order).
+    pub fn ops(&self) -> BatchOps<'a> {
+        BatchOps {
+            buf: self.ops_bytes,
+            pos: 0,
+            remaining: self.nops,
+            prev_va: 0,
+            prev_end: 0,
+            last_tag: 0,
+            arena: 0,
+            data_len: self.data.len() as u64,
+            base: self.base,
+        }
+    }
+}
+
+/// Streaming decoder for a batch's packed ops.
+#[derive(Debug, Clone)]
+pub struct BatchOps<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u64,
+    prev_va: u64,
+    prev_end: u64,
+    last_tag: u8,
+    arena: u64,
+    data_len: u64,
+    base: usize,
+}
+
+impl BatchOps<'_> {
+    fn fail(&mut self, reason: &'static str) -> TraceError {
+        let offset = self.base + self.pos;
+        self.remaining = 0;
+        TraceError::BadRecord { offset, reason }
+    }
+
+    fn decode(&mut self) -> Result<TraceOp, &'static str> {
+        let b = *self.buf.get(self.pos).ok_or("op stream cut short")?;
+        self.pos += 1;
+        let contig = b & OP_CONTIG != 0;
+        let packed_len = (b >> 3) & 0x1F;
+        let va = if contig {
+            self.prev_end
+        } else {
+            let delta =
+                uvarint(self.buf, &mut self.pos).ok_or("bad address delta").map(unzigzag)?;
+            self.prev_va.wrapping_add(delta as u64)
+        };
+        let len = if packed_len != 0 {
+            u32::from(packed_len)
+        } else {
+            let l = uvarint(self.buf, &mut self.pos).ok_or("bad op length")?;
+            u32::try_from(l).map_err(|_| "op length exceeds 4 GiB")?
+        };
+        let kind = match b & 3 {
+            KIND_READ => TraceOpKind::Read,
+            KIND_WRITE => {
+                let end = self.arena.checked_add(u64::from(len)).ok_or("arena overflow")?;
+                if end > self.data_len {
+                    return Err("write op overruns the batch arena");
+                }
+                let data_off = self.arena as u32;
+                self.arena = end;
+                TraceOpKind::Write { data_off }
+            }
+            KIND_PATTERN => {
+                let tag = *self.buf.get(self.pos).ok_or("op stream cut short")?;
+                self.pos += 1;
+                self.last_tag = tag;
+                TraceOpKind::Pattern { tag }
+            }
+            KIND_PATTERN_REPEAT => TraceOpKind::Pattern { tag: self.last_tag },
+            _ => unreachable!("2-bit kind"),
+        };
+        self.prev_va = va;
+        self.prev_end = va.wrapping_add(u64::from(len));
+        Ok(TraceOp { va, len, kind })
+    }
+}
+
+impl Iterator for BatchOps<'_> {
+    type Item = Result<TraceOp, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let op = match self.decode() {
+            Ok(op) => op,
+            Err(reason) => return Some(Err(self.fail(reason))),
+        };
+        if self.remaining == 0 {
+            // Closing integrity checks on the last op.
+            if self.pos != self.buf.len() {
+                return Some(Err(self.fail("trailing bytes after last op")));
+            }
+            if self.arena != self.data_len {
+                return Some(Err(self.fail("write ops do not cover the batch arena")));
+            }
+        }
+        Some(Ok(op))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (0, Some(n))
+    }
+}
+
+/// Streaming decoder for a KSM record's `(pid, va)` candidate pairs.
+#[derive(Debug, Clone)]
+pub struct KsmPairs<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u64,
+    base: usize,
+}
+
+impl KsmPairs<'_> {
+    /// Number of pairs still to decode.
+    pub fn len(&self) -> u64 {
+        self.remaining
+    }
+
+    /// True when no pairs remain.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl Iterator for KsmPairs<'_> {
+    type Item = Result<(u64, u64), TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let offset = self.base + self.pos;
+        let pid = uvarint(self.buf, &mut self.pos);
+        let va = uvarint(self.buf, &mut self.pos);
+        match (pid, va) {
+            (Some(pid), Some(va)) => Some(Ok((pid, va))),
+            _ => {
+                self.remaining = 0;
+                Some(Err(TraceError::BadRecord { offset, reason: "bad ksm pair" }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    fn header() -> TraceHeader {
+        TraceHeader { page_size: PageSize::Regular4K, phys_bytes: 32 << 20 }
+    }
+
+    fn sample_trace() -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), header()).unwrap();
+        w.spawn_init(1).unwrap();
+        w.mmap(1, 8192, PageSize::Regular4K, 0x10_0000).unwrap();
+        w.batch(
+            1,
+            b"abcd",
+            [
+                TraceOp::write(0x10_0000, 4, 0),
+                TraceOp::read(0x10_0004, 60),
+                TraceOp::pattern(0x10_1000, 4096, 0xAA),
+                TraceOp::pattern(0x10_0040, 1, 0xAA),
+                TraceOp::pattern(0x10_0080, 1, 0xBB),
+            ],
+        )
+        .unwrap();
+        w.fork(1, 2).unwrap();
+        w.ksm_merge([(1, 0x10_0000), (2, 0x10_0000)]).unwrap();
+        w.write_nt(2, 0x10_0000, &[9; 64]).unwrap();
+        w.merkle_root(0xDEAD_BEEF).unwrap();
+        w.finish_event().unwrap();
+        let (bytes, totals) = w.into_parts().unwrap();
+        assert_eq!(totals.ops, 6);
+        assert_eq!(totals.records, 8);
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let t = Trace::from_bytes(sample_trace()).unwrap();
+        assert_eq!(t.header(), header());
+        assert_eq!(t.totals().ops, 6);
+        let records: Vec<_> = t.records().map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 8);
+        assert!(matches!(records[0], Record::SpawnInit { pid: 1 }));
+        assert!(matches!(records[1], Record::Mmap { pid: 1, len: 8192, va: 0x10_0000, .. }));
+        let Record::Batch(b) = &records[2] else { panic!("expected batch") };
+        assert_eq!(b.pid, 1);
+        assert_eq!(b.data, b"abcd");
+        let ops: Vec<_> = b.ops().map(|o| o.unwrap()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::write(0x10_0000, 4, 0),
+                TraceOp::read(0x10_0004, 60),
+                TraceOp::pattern(0x10_1000, 4096, 0xAA),
+                TraceOp::pattern(0x10_0040, 1, 0xAA),
+                TraceOp::pattern(0x10_0080, 1, 0xBB),
+            ]
+        );
+        assert!(matches!(records[3], Record::Fork { parent: 1, child: 2 }));
+        let Record::KsmMerge(pairs) = records[4].clone() else { panic!("expected ksm") };
+        let pairs: Vec<_> = pairs.map(|p| p.unwrap()).collect();
+        assert_eq!(pairs, vec![(1, 0x10_0000), (2, 0x10_0000)]);
+        let Record::WriteNt { pid: 2, va: 0x10_0000, data } = records[5] else {
+            panic!("expected write_nt")
+        };
+        assert_eq!(data, &[9; 64]);
+        assert!(matches!(records[6], Record::MerkleRoot { root: 0xDEAD_BEEF }));
+        assert!(matches!(records[7], Record::Finish));
+    }
+
+    #[test]
+    fn contiguous_and_repeat_packing_is_compact() {
+        // 64 single-byte same-tag pattern ops at a 64-byte stride:
+        // 1 op byte + 2 delta bytes each after the first.
+        let mut w = TraceWriter::new(Vec::new(), header()).unwrap();
+        let ops = (0..64u64).map(|i| TraceOp::pattern(0x1000 + i * 64, 1, 7));
+        w.batch(1, &[], ops).unwrap();
+        let (bytes, totals) = w.into_parts().unwrap();
+        assert_eq!(totals.ops, 64);
+        let body = bytes.len() - HEADER_LEN - FOOTER_LEN;
+        assert!(body <= 64 * 3 + 16, "packed body too large: {body} bytes");
+        let t = Trace::from_bytes(bytes).unwrap();
+        let Record::Batch(b) = t.records().next().unwrap().unwrap() else { panic!() };
+        let decoded: Vec<_> = b.ops().map(|o| o.unwrap()).collect();
+        assert_eq!(decoded.len(), 64);
+        assert_eq!(decoded[63], TraceOp::pattern(0x1000 + 63 * 64, 1, 7));
+    }
+
+    #[test]
+    fn open_rejects_each_malformation_distinctly() {
+        let good = sample_trace();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(Trace::from_bytes(bad_magic), Err(TraceError::BadMagic)));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        // Version corruption reports as BadVersion, not checksum: the
+        // version gate runs first so future formats get a clear error.
+        assert!(matches!(
+            Trace::from_bytes(bad_version),
+            Err(TraceError::BadVersion { found: 0x00FF })
+        ));
+
+        let truncated = good[..good.len() - 9].to_vec();
+        assert!(matches!(Trace::from_bytes(truncated), Err(TraceError::Truncated)));
+
+        assert!(matches!(Trace::from_bytes(good[..3].to_vec()), Err(TraceError::Truncated)));
+
+        let mut flipped = good.clone();
+        let mid = HEADER_LEN + 3;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(Trace::from_bytes(flipped), Err(TraceError::ChecksumMismatch { .. })));
+
+        assert!(Trace::from_bytes(good).is_ok());
+    }
+
+    #[test]
+    fn header_only_trace_is_valid_and_empty() {
+        let w = TraceWriter::new(Vec::new(), header()).unwrap();
+        let (bytes, totals) = w.into_parts().unwrap();
+        assert_eq!(totals, TraceTotals::default());
+        let t = Trace::from_bytes(bytes).unwrap();
+        assert_eq!(t.records().count(), 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Buffered `.ltr` encoder.
+
+use crate::format::{
+    put_uvarint, zigzag, Check64, TraceHeader, TraceOp, TraceOpKind, TraceTotals, FOOTER_MAGIC,
+    KIND_PATTERN, KIND_PATTERN_REPEAT, KIND_READ, KIND_WRITE, MAX_PACKED_LEN, OP_BATCH, OP_CONTIG,
+    OP_CRASH_RECOVER, OP_EXIT, OP_FINISH, OP_FORK, OP_KSM, OP_MADVISE, OP_MERKLE_ROOT, OP_MMAP,
+    OP_MPROTECT, OP_MUNMAP, OP_RESET_FOOTPRINT, OP_SPAWN, OP_SYNC_CORES, OP_USE_CORE, OP_WRITE_NT,
+};
+use lelantus_types::PageSize;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Streams a trace to any [`Write`] sink with batched buffered
+/// encoding: each record is packed into a reused scratch buffer, fed
+/// through the running checksum, and written in one `write_all` (plus
+/// one more for a batch's payload arena, which is passed through
+/// verbatim — the writer never copies payloads into its own buffers).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    check: Check64,
+    totals: TraceTotals,
+    /// Scratch for the fixed part of the current record.
+    rec_buf: Vec<u8>,
+    /// Scratch for a batch's packed op stream.
+    ops_buf: Vec<u8>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates (truncating) `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn create(path: impl AsRef<Path>, header: TraceHeader) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Self::new(BufWriter::with_capacity(1 << 20, file), header)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `w` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn new(mut w: W, header: TraceHeader) -> io::Result<Self> {
+        let mut check = Check64::default();
+        let h = header.encode();
+        check.update(&h);
+        w.write_all(&h)?;
+        Ok(Self {
+            w,
+            check,
+            totals: TraceTotals::default(),
+            rec_buf: Vec::new(),
+            ops_buf: Vec::new(),
+        })
+    }
+
+    /// Totals written so far.
+    pub fn totals(&self) -> TraceTotals {
+        self.totals
+    }
+
+    /// Flushes `rec_buf` as one record (checksummed).
+    fn flush_rec(&mut self) -> io::Result<()> {
+        self.check.update(&self.rec_buf);
+        self.w.write_all(&self.rec_buf)?;
+        self.rec_buf.clear();
+        self.totals.records += 1;
+        Ok(())
+    }
+
+    /// Writes one batch record: `pid`, the packed op stream, and the
+    /// payload arena `data` (explicit-data writes must consume the
+    /// arena in push order, exactly as `AccessBatch::push_write`
+    /// builds it — the canonical form the reader reconstructs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write op's `data_off` breaks the canonical arena
+    /// order, or if the write lengths do not sum to `data.len()`.
+    pub fn batch<I>(&mut self, pid: u64, data: &[u8], ops: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = TraceOp>,
+    {
+        let mut ops_buf = std::mem::take(&mut self.ops_buf);
+        ops_buf.clear();
+        let mut n = 0u64;
+        let mut prev_va = 0u64;
+        let mut prev_end = 0u64;
+        let mut last_tag: Option<u8> = None;
+        let mut arena = 0u64;
+        for op in ops {
+            let (kind, tag) = match op.kind {
+                TraceOpKind::Read => (KIND_READ, None),
+                TraceOpKind::Write { data_off } => {
+                    assert_eq!(
+                        u64::from(data_off),
+                        arena,
+                        "batch arena must be canonical: writes consume it in push order"
+                    );
+                    arena += u64::from(op.len);
+                    (KIND_WRITE, None)
+                }
+                TraceOpKind::Pattern { tag } if last_tag == Some(tag) => {
+                    (KIND_PATTERN_REPEAT, None)
+                }
+                TraceOpKind::Pattern { tag } => {
+                    last_tag = Some(tag);
+                    (KIND_PATTERN, Some(tag))
+                }
+            };
+            let contig = op.va == prev_end && n > 0;
+            let packed_len = if (1..=MAX_PACKED_LEN).contains(&op.len) { op.len as u8 } else { 0 };
+            ops_buf.push(kind | if contig { OP_CONTIG } else { 0 } | (packed_len << 3));
+            if !contig {
+                put_uvarint(&mut ops_buf, zigzag(op.va.wrapping_sub(prev_va) as i64));
+            }
+            if packed_len == 0 {
+                put_uvarint(&mut ops_buf, u64::from(op.len));
+            }
+            if let Some(t) = tag {
+                ops_buf.push(t);
+            }
+            prev_va = op.va;
+            prev_end = op.va.wrapping_add(u64::from(op.len));
+            n += 1;
+        }
+        assert_eq!(arena, data.len() as u64, "write payloads must exactly cover the batch arena");
+        self.rec_buf.clear();
+        self.rec_buf.push(OP_BATCH);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, n);
+        put_uvarint(&mut self.rec_buf, ops_buf.len() as u64);
+        put_uvarint(&mut self.rec_buf, data.len() as u64);
+        self.check.update(&self.rec_buf);
+        self.w.write_all(&self.rec_buf)?;
+        self.rec_buf.clear();
+        self.check.update(&ops_buf);
+        self.w.write_all(&ops_buf)?;
+        self.check.update(data);
+        self.w.write_all(data)?;
+        self.ops_buf = ops_buf;
+        self.totals.records += 1;
+        self.totals.ops += n;
+        Ok(())
+    }
+
+    /// Records a `spawn_init` and the pid it produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn spawn_init(&mut self, pid: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_SPAWN);
+        put_uvarint(&mut self.rec_buf, pid);
+        self.flush_rec()
+    }
+
+    /// Records an `mmap` (any page size) and the base it returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn mmap(&mut self, pid: u64, len: u64, page_size: PageSize, va: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_MMAP);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, len);
+        put_uvarint(&mut self.rec_buf, page_size.bytes());
+        put_uvarint(&mut self.rec_buf, va);
+        self.flush_rec()
+    }
+
+    /// Records a `fork` and the child pid it produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn fork(&mut self, parent: u64, child: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_FORK);
+        put_uvarint(&mut self.rec_buf, parent);
+        put_uvarint(&mut self.rec_buf, child);
+        self.flush_rec()
+    }
+
+    /// Records an `exit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn exit(&mut self, pid: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_EXIT);
+        put_uvarint(&mut self.rec_buf, pid);
+        self.flush_rec()
+    }
+
+    /// Records a `munmap` of the VMA at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn munmap(&mut self, pid: u64, va: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_MUNMAP);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, va);
+        self.flush_rec()
+    }
+
+    /// Records a `madvise(MADV_DONTNEED)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn madvise_dontneed(&mut self, pid: u64, va: u64, len: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_MADVISE);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, va);
+        put_uvarint(&mut self.rec_buf, len);
+        self.flush_rec()
+    }
+
+    /// Records an `mprotect`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn mprotect(&mut self, pid: u64, va: u64, writable: bool) -> io::Result<()> {
+        self.rec_buf.push(OP_MPROTECT);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, va);
+        self.rec_buf.push(u8::from(writable));
+        self.flush_rec()
+    }
+
+    /// Records a KSM merge pass over `(pid, va)` candidates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn ksm_merge<I>(&mut self, pairs: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut ops_buf = std::mem::take(&mut self.ops_buf);
+        ops_buf.clear();
+        let mut n = 0u64;
+        for (pid, va) in pairs {
+            put_uvarint(&mut ops_buf, pid);
+            put_uvarint(&mut ops_buf, va);
+            n += 1;
+        }
+        self.rec_buf.clear();
+        self.rec_buf.push(OP_KSM);
+        put_uvarint(&mut self.rec_buf, n);
+        put_uvarint(&mut self.rec_buf, ops_buf.len() as u64);
+        self.check.update(&self.rec_buf);
+        self.w.write_all(&self.rec_buf)?;
+        self.rec_buf.clear();
+        self.check.update(&ops_buf);
+        self.w.write_all(&ops_buf)?;
+        self.ops_buf = ops_buf;
+        self.totals.records += 1;
+        Ok(())
+    }
+
+    /// Records a `use_core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn use_core(&mut self, core: u8) -> io::Result<()> {
+        self.rec_buf.push(OP_USE_CORE);
+        self.rec_buf.push(core);
+        self.flush_rec()
+    }
+
+    /// Records a `sync_cores` barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn sync_cores(&mut self) -> io::Result<()> {
+        self.rec_buf.push(OP_SYNC_CORES);
+        self.flush_rec()
+    }
+
+    /// Records a `finish` (cache/controller flush point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn finish_event(&mut self) -> io::Result<()> {
+        self.rec_buf.push(OP_FINISH);
+        self.flush_rec()
+    }
+
+    /// Records a non-temporal (streaming) write and its payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn write_nt(&mut self, pid: u64, va: u64, data: &[u8]) -> io::Result<()> {
+        self.rec_buf.push(OP_WRITE_NT);
+        put_uvarint(&mut self.rec_buf, pid);
+        put_uvarint(&mut self.rec_buf, va);
+        put_uvarint(&mut self.rec_buf, data.len() as u64);
+        self.check.update(&self.rec_buf);
+        self.w.write_all(&self.rec_buf)?;
+        self.rec_buf.clear();
+        self.check.update(data);
+        self.w.write_all(data)?;
+        self.totals.records += 1;
+        self.totals.ops += 1;
+        Ok(())
+    }
+
+    /// Records a crash-and-recover power cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn crash_recover(&mut self) -> io::Result<()> {
+        self.rec_buf.push(OP_CRASH_RECOVER);
+        self.flush_rec()
+    }
+
+    /// Records a footprint reset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn reset_footprint(&mut self) -> io::Result<()> {
+        self.rec_buf.push(OP_RESET_FOOTPRINT);
+        self.flush_rec()
+    }
+
+    /// Records a `merkle_root` observation *and its value*: replays
+    /// recompute the root at the same point and compare, so the
+    /// strongest integrity oracle rides inside the trace itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn merkle_root(&mut self, root: u64) -> io::Result<()> {
+        self.rec_buf.push(OP_MERKLE_ROOT);
+        put_uvarint(&mut self.rec_buf, root);
+        self.flush_rec()
+    }
+
+    /// Writes the footer, flushes, and returns the sink with the
+    /// totals. The trace is only complete (and only passes
+    /// [`crate::Trace::open`]) after this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn into_parts(mut self) -> io::Result<(W, TraceTotals)> {
+        let mut footer = [0u8; crate::format::FOOTER_LEN];
+        footer[0..8].copy_from_slice(&self.totals.ops.to_le_bytes());
+        footer[8..16].copy_from_slice(&self.totals.records.to_le_bytes());
+        footer[16..24].copy_from_slice(&self.check.finish().to_le_bytes());
+        footer[24..28].copy_from_slice(&FOOTER_MAGIC);
+        self.w.write_all(&footer)?;
+        self.w.flush()?;
+        Ok((self.w, self.totals))
+    }
+
+    /// Writes the footer and flushes, dropping the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn finish(self) -> io::Result<TraceTotals> {
+        self.into_parts().map(|(_, totals)| totals)
+    }
+}

@@ -67,8 +67,8 @@ impl<P: Probe> Workload<P> for Boot {
         // Reusable batches: one run of init's config reads, then one
         // run of everything the service does between fork and exit
         // (batches cannot cross the syscalls).
-        let mut inittab = AccessBatch::new();
-        let mut service_work = AccessBatch::new();
+        let mut inittab = AccessBatch::with_capacity(16, 0);
+        let mut service_work = AccessBatch::with_capacity(8, 6);
         for service in 0..self.services {
             // init reads its config (inittab walk).
             inittab.clear();

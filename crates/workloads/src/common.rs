@@ -67,9 +67,29 @@ pub fn update_spread<P: Probe>(
     bytes: u64,
     tag: u8,
 ) -> Result<u64, OsError> {
-    let mut batch = AccessBatch::new();
-    let n = push_update_spread(&mut batch, page_va, page_size, bytes, tag);
-    sys.run_batch(pid, &batch)?;
+    let mut batch = AccessBatch::with_capacity(bytes.min(page_size.lines() as u64) as usize, 0);
+    update_spread_with(sys, &mut batch, pid, page_va, page_size, bytes, tag)
+}
+
+/// [`update_spread`] through a caller-owned scratch batch, so inner
+/// loops (one spread per page per iteration) reuse one allocation for
+/// the whole run. The batch is cleared on entry.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn update_spread_with<P: Probe>(
+    sys: &mut System<P>,
+    batch: &mut AccessBatch,
+    pid: ProcessId,
+    page_va: VirtAddr,
+    page_size: PageSize,
+    bytes: u64,
+    tag: u8,
+) -> Result<u64, OsError> {
+    batch.clear();
+    let n = push_update_spread(batch, page_va, page_size, bytes, tag);
+    sys.run_batch(pid, batch)?;
     Ok(n)
 }
 
@@ -86,9 +106,27 @@ pub fn init_all_lines<P: Probe>(
     len: u64,
     tag: u8,
 ) -> Result<u64, OsError> {
-    let mut batch = AccessBatch::new();
+    let mut batch = AccessBatch::with_capacity(1, 0);
+    init_all_lines_with(sys, &mut batch, pid, va, len, tag)
+}
+
+/// [`init_all_lines`] through a caller-owned scratch batch (cleared on
+/// entry), for loops that initialize many regions.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn init_all_lines_with<P: Probe>(
+    sys: &mut System<P>,
+    batch: &mut AccessBatch,
+    pid: ProcessId,
+    va: VirtAddr,
+    len: u64,
+    tag: u8,
+) -> Result<u64, OsError> {
+    batch.clear();
     batch.push_pattern(va, len as usize, tag);
-    sys.run_batch(pid, &batch)?;
+    sys.run_batch(pid, batch)?;
     Ok(len / LINE_BYTES as u64)
 }
 

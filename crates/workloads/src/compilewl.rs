@@ -66,7 +66,7 @@ impl<P: Probe> Workload<P> for Compile {
         // heap (every line demand-zero-faults its page on first touch).
         // All cc1 work accumulates into one reusable batch, flushed
         // every `BATCH_OPS` ops to bound memory.
-        let mut batch = AccessBatch::new();
+        let mut batch = AccessBatch::with_capacity(BATCH_OPS + 2, 0);
         let mut alloc_pos = 0u64;
         while alloc_pos + LINE_BYTES as u64 <= self.heap_bytes {
             batch.push_pattern(heap + alloc_pos, 48, 0xAE);

@@ -57,7 +57,7 @@ impl Forkbench {
         let pages = self.total_bytes / page_bytes;
         let parent = sys.spawn_init();
         let va = sys.mmap(parent, self.total_bytes)?;
-        let mut batch = AccessBatch::new();
+        let mut batch = AccessBatch::with_capacity(page_size.lines(), 0);
         for p in 0..pages {
             batch.clear();
             push_update_spread(&mut batch, va + p * page_bytes, page_size, page_bytes, 0xA5);
@@ -90,7 +90,7 @@ impl Forkbench {
             sys.metrics()
         };
         let mut logical = 0;
-        let mut batch = AccessBatch::new();
+        let mut batch = AccessBatch::with_capacity(page_size.lines(), 0);
         for p in 0..pages {
             batch.clear();
             logical += push_update_spread(

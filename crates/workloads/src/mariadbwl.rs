@@ -81,7 +81,8 @@ impl<P: Probe> Workload<P> for Mariadb {
         // The whole load phase is one process on one core with no
         // syscalls: accumulate into one reusable batch, flushed every
         // `BATCH_OPS` ops to bound memory.
-        let mut batch = AccessBatch::new();
+        // 4 ops and 16 payload bytes per row, flushed at BATCH_OPS.
+        let mut batch = AccessBatch::with_capacity(BATCH_OPS + 4, (BATCH_OPS + 4) * 4);
         for i in 0..self.rows {
             // Row insert: sequential placement in the buffer pool
             // (first touch of each page is a demand-zero fault).

@@ -53,7 +53,7 @@ impl<P: Probe> Workload<P> for NonCopy {
             sys.metrics()
         };
         let mut logical = 0u64;
-        let mut batch = AccessBatch::new();
+        let mut batch = AccessBatch::with_capacity(page_size.lines(), 0);
         for p in 0..pages {
             batch.clear();
             logical +=

@@ -87,8 +87,8 @@ impl<P: Probe> Workload<P> for Redis {
         // Reusable batches, one per core: batches are per-process, and
         // the parent/child interleave (which sets the bank/bus
         // contention pattern) must stay at request granularity.
-        let mut serve = AccessBatch::new();
-        let mut scan = AccessBatch::new();
+        let mut serve = AccessBatch::with_capacity(2, 0);
+        let mut scan = AccessBatch::with_capacity(1, 0);
         for _ in 0..self.operations / 2 {
             // Parent SET: random key, full value write (CoW break on
             // first touch of the page during the snapshot); then a

@@ -62,8 +62,8 @@ impl<P: Probe> Workload<P> for Shell {
         let mut logical = 0u64;
         // Reusable batches: find's reads, then everything ls does
         // between its mmap and exit (batches cannot cross syscalls).
-        let mut find_reads = AccessBatch::new();
-        let mut ls_work = AccessBatch::new();
+        let mut find_reads = AccessBatch::with_capacity(8, 0);
+        let mut ls_work = AccessBatch::with_capacity(5, 4);
         for dir in 0..self.directories {
             // find reads directory metadata from its image.
             find_reads.clear();

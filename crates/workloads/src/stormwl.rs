@@ -112,7 +112,8 @@ impl Storm {
         let pages = self.region_bytes / page_bytes;
         let common = self.common_pages.min(pages);
         let mut roots = Vec::with_capacity(self.tenants as usize);
-        let mut batch = AccessBatch::new();
+        // One single-line spread op per page of the region.
+        let mut batch = AccessBatch::with_capacity(pages as usize, 0);
         for t in 0..self.tenants {
             let pid = sys.spawn_init();
             let va = sys.mmap(pid, self.region_bytes)?;
@@ -153,7 +154,7 @@ impl Storm {
             sys.metrics()
         };
         let mut logical = 0;
-        let mut batch = AccessBatch::new();
+        let mut batch = AccessBatch::with_capacity(touched as usize, 0);
         let mut ksm_group: Vec<(ProcessId, VirtAddr)> = Vec::new();
         for (t, &(root, va)) in state.roots.iter().enumerate() {
             let mut leaf = root;

@@ -25,9 +25,10 @@ use lelantus::bench::diff::{diff, parse_results};
 use lelantus::bench::results::{emit, Record};
 use lelantus::os::CowStrategy;
 use lelantus::sim::{
-    chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, CycleLedger,
-    EpochSample, EventKind, FaultAction, HistKind, JsonlProbe, NullProbe, Probe, RingProbe,
-    SimConfig, SimMetrics, Span, System, TailRecorder, TailSummary, TeeProbe,
+    chrome_trace, chrome_trace_with_spans, replay, selfprof, CounterSeries, CycleCategory,
+    CycleLedger, EpochSample, EventKind, FaultAction, HistKind, JsonlProbe, NullProbe, Probe,
+    ReplayError, ReplayStats, RingProbe, SimConfig, SimMetrics, Span, System, TailRecorder,
+    TailSummary, TeeProbe, Trace, TraceError, TraceHeader, TraceRecorder,
 };
 use lelantus::types::PageSize;
 use lelantus::workloads::{
@@ -46,8 +47,18 @@ fn usage() -> ExitCode {
         "usage:
   lelantus list
   lelantus run     --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale small|medium|paper] [--json]
+  lelantus run     --trace <file.ltr> [--scheme <s>] [--json]
+                   (replay a recorded binary trace through one scheme; geometry
+                    comes from the trace header)
+  lelantus record  <workload> -o <file.ltr> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
+                   (run the workload with the trace recorder attached and write
+                    every state-changing operation to a replayable .ltr file)
   lelantus compare --workload <name> [--pages 4k|2m] [--scale ...] [--json]
+  lelantus compare --trace <file.ltr> [--json]
+                   (replay one trace through all four schemes: Fig 9 from a trace)
   lelantus report  --workload <name> [--scheme <s>] [--pages 4k|2m] [--scale ...] [--json]
+                   [--replay <file.ltr>]  (drive the report from a recorded trace
+                    instead of a synthetic workload; --workload is then ignored)
                    [--epoch <cycles>] [--ring <events>] [--events <out.jsonl>] [--trace <out.json>]
                    [--workers <n>]  (n > 0 runs the parallel sharded engine and reports its stats)
                    [--tail]  (per-fault span recording: percentiles, per-action breakdown,
@@ -182,6 +193,270 @@ fn run_one(workload: &dyn Workload, strategy: CowStrategy, pages: PageSize) -> W
         eprintln!("simulation failed: {e}");
         std::process::exit(1);
     })
+}
+
+/// Distinct non-zero exit code per malformed-trace failure, so CI and
+/// scripts can tell truncation from tampering without parsing stderr.
+fn trace_exit_code(e: &TraceError) -> u8 {
+    match e {
+        TraceError::Io(_) => 10,
+        TraceError::BadMagic => 11,
+        TraceError::BadVersion { .. } => 12,
+        TraceError::Truncated => 13,
+        TraceError::ChecksumMismatch { .. } => 14,
+        TraceError::BadHeader { .. } => 15,
+        TraceError::BadRecord { .. } => 16,
+    }
+}
+
+fn replay_exit_code(e: &ReplayError) -> u8 {
+    match e {
+        ReplayError::Trace(t) => trace_exit_code(t),
+        ReplayError::Os(_) => 17,
+        ReplayError::Geometry { .. } => 18,
+        ReplayError::Divergence { .. } => 19,
+        ReplayError::Recovery(_) => 20,
+    }
+}
+
+/// Opens and validates a `.ltr` file, exiting with the per-error code
+/// on failure.
+fn open_trace_or_exit(path: &str) -> Trace {
+    Trace::open(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open trace {path}: {e}");
+        std::process::exit(trace_exit_code(&e) as i32);
+    })
+}
+
+/// One replay of `trace` under `strategy` (geometry from the trace
+/// header), returning final metrics, replay stats, and the ingest
+/// wall-clock seconds. Exits with the per-error code on failure.
+fn replay_one(trace: &Trace, strategy: CowStrategy, path: &str) -> (SimMetrics, ReplayStats, f64) {
+    let header = trace.header();
+    let cfg = SimConfig::new(strategy, header.page_size).with_phys_bytes(header.phys_bytes);
+    let mut sys = System::new(cfg);
+    let start = std::time::Instant::now();
+    let stats = replay(&mut sys, trace).unwrap_or_else(|e| {
+        eprintln!("error: replaying {path} under {strategy} failed: {e}");
+        std::process::exit(replay_exit_code(&e) as i32);
+    });
+    let wall = start.elapsed().as_secs_f64();
+    (sys.finish(), stats, wall)
+}
+
+/// The stable `"trace"` object `run`/`report --json` carry: the source
+/// file, what was ingested, and the end-to-end ingest rate. `None`
+/// renders as `null` (synthetic workload, schema key still present).
+fn trace_json(src: Option<(&str, &Trace, &ReplayStats, f64)>) -> String {
+    let Some((path, trace, stats, wall)) = src else { return "null".into() };
+    format!(
+        concat!(
+            "{{\"source\":\"{}\",\"file_bytes\":{},\"mapped\":{},\"records\":{},",
+            "\"ops\":{},\"batches\":{},\"payload_bytes\":{},\"ingest_ops_per_s\":{:.0}}}"
+        ),
+        path,
+        trace.file_bytes(),
+        trace.is_mapped(),
+        stats.records,
+        stats.ops,
+        stats.batches,
+        stats.payload_bytes,
+        stats.ops as f64 / wall.max(1e-9),
+    )
+}
+
+/// `lelantus run --trace` / `lelantus compare --trace`: replay a
+/// recorded `.ltr` file through one scheme (or all four, comparing
+/// against the replayed baseline exactly like a synthetic `compare`).
+fn trace_run(single: bool, path: &str, flags: &HashMap<String, String>) -> ExitCode {
+    let json = flags.contains_key("json");
+    let trace = open_trace_or_exit(path);
+    let pages = trace.header().page_size;
+    if single {
+        let Some(strategy) =
+            scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+        else {
+            eprintln!("error: bad --scheme");
+            return usage();
+        };
+        let (m, stats, wall) = replay_one(&trace, strategy, path);
+        if json {
+            println!(
+                "{{\"workload\":\"trace\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"metrics\":{},\"trace\":{}}}",
+                json_metrics(&m),
+                trace_json(Some((path, &trace, &stats, wall))),
+            );
+        } else {
+            print_metrics_text(&format!("{path} / {strategy} / {pages} pages (replay)"), &m);
+            println!(
+                "  ingested {} ops in {} records ({:.1}M ops/s end-to-end, {})",
+                stats.ops,
+                stats.records,
+                stats.ops as f64 / wall.max(1e-9) / 1e6,
+                if trace.is_mapped() { "mmap" } else { "buffered" },
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    // compare: the same trace through every scheme.
+    let (base, base_stats, base_wall) = replay_one(&trace, CowStrategy::Baseline, path);
+    let mut rows = Vec::new();
+    for strategy in CowStrategy::all() {
+        let m = if strategy == CowStrategy::Baseline {
+            base
+        } else {
+            replay_one(&trace, strategy, path).0
+        };
+        rows.push((
+            strategy.to_string(),
+            m.cycles.as_u64(),
+            m.speedup_vs(&base),
+            m.nvm.line_writes,
+            m.write_fraction_vs(&base),
+        ));
+    }
+    if json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(s, c, sp, w, wf)| {
+                format!(
+                    "{{\"scheme\":\"{s}\",\"cycles\":{c},\"speedup\":{sp:.4},\"nvm_writes\":{w},\"write_fraction\":{wf:.4}}}"
+                )
+            })
+            .collect();
+        println!(
+            "{{\"workload\":\"trace\",\"pages\":\"{pages}\",\"schemes\":[{}],\"trace\":{}}}",
+            body.join(","),
+            trace_json(Some((path, &trace, &base_stats, base_wall))),
+        );
+    } else {
+        println!("{path} / {pages} pages (replayed through every scheme)");
+        println!(
+            "{:>16}  {:>12}  {:>8}  {:>12}  {:>8}",
+            "scheme", "cycles", "speedup", "NVM writes", "writes%"
+        );
+        for (s, c, sp, w, wf) in rows {
+            println!(
+                "{s:>16}  {c:>12}  {:>8}  {w:>12}  {:>8}",
+                format!("{sp:.2}x"),
+                format!("{:.1}%", wf * 100.0)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lelantus record <workload> -o <file.ltr>`: run a workload with the
+/// trace recorder attached and seal the binary trace.
+fn record_cmd(args: &[String]) -> ExitCode {
+    let mut wl_name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("error: {arg} needs a file path");
+                    return usage();
+                }
+            },
+            a if !a.starts_with('-') && wl_name.is_none() => wl_name = Some(a.to_string()),
+            _ => flag_args.push(arg.clone()),
+        }
+    }
+    let flags = match parse_flags(&flag_args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let Some(wl_name) = wl_name.or_else(|| flags.get("workload").cloned()) else {
+        eprintln!("error: record needs a workload (positional or --workload)");
+        return usage();
+    };
+    let Some(out) = out else {
+        eprintln!("error: record needs -o <file.ltr>");
+        return usage();
+    };
+    let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
+    let Some(workload) = workload_of::<NullProbe>(&wl_name, scale) else {
+        eprintln!("error: unknown workload `{wl_name}`");
+        return usage();
+    };
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let Some(strategy) = scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+    else {
+        eprintln!("error: bad --scheme");
+        return usage();
+    };
+    let json = flags.contains_key("json");
+
+    let cfg = SimConfig::new(strategy, pages);
+    let header = TraceHeader { page_size: pages, phys_bytes: cfg.kernel.phys_bytes };
+    let rec = match TraceRecorder::create(&out, header) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sys = System::new(cfg);
+    sys.record_into(rec.clone());
+    let start = std::time::Instant::now();
+    let run = workload.run(&mut sys).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    sys.stop_recording();
+    let totals = match rec.finish() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: writing {out} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    // Full-system metrics: what a replay of this trace reproduces
+    // bit-for-bit (the workload's `measured` window excludes setup).
+    let full = sys.metrics();
+    let file_bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    if json {
+        println!(
+            concat!(
+                "{{\"workload\":\"{}\",\"scheme\":\"{}\",\"pages\":\"{}\",\"out\":\"{}\",",
+                "\"records\":{},\"ops\":{},\"file_bytes\":{},\"bytes_per_op\":{:.2},",
+                "\"wall_clock_s\":{:.3},\"metrics\":{},\"metrics_full\":{}}}"
+            ),
+            workload.name(),
+            strategy,
+            pages,
+            out,
+            totals.records,
+            totals.ops,
+            file_bytes,
+            file_bytes as f64 / totals.ops.max(1) as f64,
+            wall,
+            json_metrics(&run.measured),
+            json_metrics(&full),
+        );
+    } else {
+        println!("recorded {} / {strategy} / {pages} pages -> {out}", workload.name());
+        println!(
+            "  {} records, {} ops, {} bytes ({:.2} B/op), {wall:.2}s",
+            totals.records,
+            totals.ops,
+            file_bytes,
+            file_bytes as f64 / totals.ops.max(1) as f64
+        );
+        println!("  replay with: lelantus run --trace {out}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_metrics_text(label: &str, m: &SimMetrics) {
@@ -462,17 +737,32 @@ fn print_tail_text(t: &TailRecorder, epochs: &[EpochSample]) {
 
 fn report(flags: &HashMap<String, String>) -> ExitCode {
     let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
-    let Some(wl_name) = flags.get("workload") else {
-        eprintln!("error: --workload is required");
-        return usage();
+    // `--replay <file.ltr>` swaps the synthetic workload for a
+    // recorded trace; geometry then comes from the trace header.
+    let replay_src: Option<(String, Trace)> =
+        flags.get("replay").map(|p| (p.clone(), open_trace_or_exit(p)));
+    let workload: Option<Box<dyn Workload<ReportProbe>>> = if replay_src.is_some() {
+        None
+    } else {
+        let Some(wl_name) = flags.get("workload") else {
+            eprintln!("error: --workload is required (or --replay <file.ltr>)");
+            return usage();
+        };
+        let Some(w) = workload_of::<ReportProbe>(wl_name, scale) else {
+            eprintln!("error: unknown workload `{wl_name}`");
+            return usage();
+        };
+        Some(w)
     };
-    let Some(workload) = workload_of::<ReportProbe>(wl_name, scale) else {
-        eprintln!("error: unknown workload `{wl_name}`");
-        return usage();
-    };
-    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
-        eprintln!("error: bad --pages");
-        return usage();
+    let pages = match &replay_src {
+        Some((_, t)) => t.header().page_size,
+        None => {
+            let Some(p) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+                eprintln!("error: bad --pages");
+                return usage();
+            };
+            p
+        }
     };
     let Some(strategy) = scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
     else {
@@ -516,6 +806,9 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     let ring = RingProbe::new(ring_cap);
     let probe = TeeProbe::new(ring.clone(), jsonl.clone());
     let mut cfg = SimConfig::new(strategy, pages).with_epoch_interval(epoch);
+    if let Some((_, t)) = &replay_src {
+        cfg = cfg.with_phys_bytes(t.header().phys_bytes);
+    }
     if workers > 0 {
         cfg = cfg.with_parallel(workers);
     }
@@ -525,10 +818,27 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
         cfg = cfg.with_tail_recorder().with_cycle_ledger();
     }
     let mut sys = System::with_probe(cfg, probe);
-    let run = workload.run(&mut sys).unwrap_or_else(|e| {
-        eprintln!("simulation failed: {e}");
-        std::process::exit(1);
-    });
+    let wl_name = workload.as_ref().map(|w| w.name()).unwrap_or("replay");
+    let (run, replay_stats) = match (&workload, &replay_src) {
+        (Some(w), _) => {
+            let run = w.run(&mut sys).unwrap_or_else(|e| {
+                eprintln!("simulation failed: {e}");
+                std::process::exit(1);
+            });
+            (run, None)
+        }
+        (None, Some((path, trace))) => {
+            let start = std::time::Instant::now();
+            let stats = replay(&mut sys, trace).unwrap_or_else(|e| {
+                eprintln!("error: replaying {path} failed: {e}");
+                std::process::exit(replay_exit_code(&e) as i32);
+            });
+            let wall = start.elapsed().as_secs_f64();
+            let measured = sys.finish();
+            (WorkloadRun { measured, logical_line_writes: stats.ops }, Some((stats, wall)))
+        }
+        (None, None) => unreachable!("either a workload or a replay source is set"),
+    };
     let m = run.measured;
     // Syncs outstanding shard work first, so the report covers the
     // whole run; `None` on the serial engine.
@@ -595,12 +905,18 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
                 )
             })
             .collect();
+        let trace_body = trace_json(
+            replay_src
+                .as_ref()
+                .zip(replay_stats.as_ref())
+                .map(|((path, trace), (stats, wall))| (path.as_str(), trace, stats, *wall)),
+        );
         println!(
-            "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"tail\":{},\"epochs\":[{}]}}",
-            workload.name(),
+            "{{\"workload\":\"{wl_name}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"trace\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"tail\":{},\"epochs\":[{}]}}",
             json_metrics(&m),
             json_metrics(&full),
             par_json(par.as_ref()),
+            trace_body,
             events.join(","),
             ring.total(),
             ring.dropped(),
@@ -612,9 +928,18 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     print_metrics_text(
-        &format!("{} / {strategy} / {pages} pages (epoch {epoch} cycles)", workload.name()),
+        &format!("{wl_name} / {strategy} / {pages} pages (epoch {epoch} cycles)"),
         &m,
     );
+    if let (Some((path, trace)), Some((stats, wall))) = (&replay_src, &replay_stats) {
+        println!(
+            "  replayed {path}: {} ops in {} records ({:.1}M ops/s end-to-end, {})",
+            stats.ops,
+            stats.records,
+            stats.ops as f64 / wall.max(1e-9) / 1e6,
+            if trace.is_mapped() { "mmap" } else { "buffered" },
+        );
+    }
     println!();
     println!(
         "events: {} emitted, ring kept {}, dropped {}",
@@ -1282,6 +1607,7 @@ fn main() -> ExitCode {
             }
         },
         "bench-diff" => bench_diff(&args[1..]),
+        "record" => record_cmd(&args[1..]),
         "run" | "compare" => {
             let flags = match parse_flags(&args[1..]) {
                 Ok(f) => f,
@@ -1290,6 +1616,9 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if let Some(path) = flags.get("trace") {
+                return trace_run(command == "run", path, &flags);
+            }
             let scale = flags.get("scale").map(String::as_str).unwrap_or("medium");
             let Some(wl_name) = flags.get("workload") else {
                 eprintln!("error: --workload is required");
@@ -1315,7 +1644,7 @@ fn main() -> ExitCode {
                 let run = run_one(workload.as_ref(), strategy, pages);
                 if json {
                     println!(
-                        "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"metrics\":{}}}",
+                        "{{\"workload\":\"{}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"metrics\":{},\"trace\":null}}",
                         workload.name(),
                         json_metrics(&run.measured)
                     );

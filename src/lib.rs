@@ -13,6 +13,7 @@
 //! * [`os`] — the kernel memory-management model (fork, CoW, rmap),
 //! * [`core`] — the secure memory controller and the CoW schemes,
 //! * [`sim`] — the full-system simulator,
+//! * [`trace`] — the `.ltr` binary access-trace format (record/replay),
 //! * [`workloads`] — the paper's benchmark workload generators,
 //! * [`bench`] — the bench harness and results tooling.
 //!
@@ -26,5 +27,6 @@ pub use lelantus_metadata as metadata;
 pub use lelantus_nvm as nvm;
 pub use lelantus_os as os;
 pub use lelantus_sim as sim;
+pub use lelantus_trace as trace;
 pub use lelantus_types as types;
 pub use lelantus_workloads as workloads;
