@@ -135,6 +135,13 @@ pub struct ControllerConfig {
     /// through `SimConfig::with_parallel` so the log is actually
     /// drained.
     pub defer_data_plane: bool,
+    /// Record a spatial [`HeatGrid`](lelantus_obs::HeatGrid)
+    /// attributing metadata traffic (counter fills/overflows, Merkle
+    /// walk touches per level, MAC writebacks, redirected reads,
+    /// implicit copies) to the data region that caused it. Off by
+    /// default; enable through `SimConfig::with_heatmap` so the system
+    /// layer merges the grid. Purely observational.
+    pub heatmap: bool,
 }
 
 impl ControllerConfig {
@@ -171,6 +178,7 @@ impl ControllerConfig {
             mac_write_combining: true,
             cycle_ledger: false,
             defer_data_plane: false,
+            heatmap: false,
         }
     }
 

@@ -39,7 +39,8 @@ use lelantus_metadata::layout::MetadataLayout;
 use lelantus_metadata::mac::{decode_mac_line, encode_mac_line, MacCache};
 use lelantus_nvm::{NvmDevice, NvmStats};
 use lelantus_obs::{
-    selfprof, CycleCategory, Event, EventKind, HistKind, NullProbe, Probe, Segment,
+    selfprof, CycleCategory, Event, EventKind, HeatGrid, HeatLane, HistKind, NullProbe, Probe,
+    Segment,
 };
 use lelantus_types::{Cycles, PhysAddr, LINE_BYTES, REGION_BYTES};
 use std::collections::HashSet;
@@ -89,6 +90,10 @@ pub struct SecureMemoryController<P: Probe = NullProbe> {
     /// Elided crypto operations, in issue order (only when
     /// `config.defer_data_plane`; drained by the parallel engine).
     dp_log: Vec<DataPlaneOp>,
+    /// Spatial heat of metadata traffic, attributed to the data region
+    /// that caused it (only when `config.heatmap`; merged by the
+    /// system layer).
+    heat: Option<Box<HeatGrid>>,
 }
 
 impl SecureMemoryController {
@@ -122,6 +127,9 @@ impl<P: Probe> SecureMemoryController<P> {
         if !config.use_eager_merkle {
             merkle = merkle.with_deferred_maintenance();
         }
+        if config.heatmap {
+            merkle = merkle.with_touch_log();
+        }
         let persisted_root = merkle.root();
         Self {
             nvm: NvmDevice::with_probe(config.nvm.clone(), probe.clone()),
@@ -142,11 +150,41 @@ impl<P: Probe> SecureMemoryController<P> {
             persisted_root,
             stats: ControllerStats::default(),
             footprint: FootprintTracker::new(config.track_footprint),
+            heat: config.heatmap.then(Box::<HeatGrid>::default),
             config,
             probe,
             segments: Vec::new(),
             dp_log: Vec::new(),
         }
+    }
+
+    /// Records one metadata-traffic count against a data region (no-op
+    /// when the heatmap is off).
+    #[inline]
+    fn heat(&mut self, lane: HeatLane, region: u64) {
+        if let Some(h) = self.heat.as_mut() {
+            h.record(lane, region);
+        }
+    }
+
+    /// Drains the Merkle touch log, attributing each fetched node line
+    /// (at its tree level) to the data region whose walk fetched it.
+    fn heat_merkle_touches(&mut self, region: u64) {
+        let Some(h) = self.heat.as_mut() else { return };
+        for &level in self.merkle.touches() {
+            h.record(HeatLane::merkle(level as usize), region);
+        }
+        self.merkle.discard_touches();
+    }
+
+    /// The metadata-traffic heat grid recorded so far (None when off).
+    pub fn heatmap(&self) -> Option<&HeatGrid> {
+        self.heat.as_deref()
+    }
+
+    /// The backing device's bank-access heat grid (None when off).
+    pub fn nvm_heatmap(&self) -> Option<&HeatGrid> {
+        self.nvm.heatmap()
     }
 
     /// Records a cycle-attribution segment when the ledger is enabled.
@@ -386,6 +424,9 @@ impl<P: Probe> SecureMemoryController<P> {
         let bytes = block.encode_with(self.encoding(), self.codec());
         self.nvm.poke_line(self.layout.counter_addr_of_region(region), bytes);
         self.merkle.update_leaf(region as usize, &bytes);
+        // Boot-time initialization is free of charge: its walk stats
+        // are dropped above, so its touch log must be dropped too.
+        self.merkle.discard_touches();
         if self.config.defer_data_plane {
             self.dp_log.push(DataPlaneOp::Leaf { region, bytes });
         }
@@ -403,6 +444,7 @@ impl<P: Probe> SecureMemoryController<P> {
             return (block, now + Cycles::new(1));
         }
         self.stats.counter_fetches += 1;
+        self.heat(HeatLane::CounterFill, region);
         if P::ENABLED {
             self.probe.emit(Event { cycle: now, kind: EventKind::CounterFetch { region } });
         }
@@ -414,6 +456,7 @@ impl<P: Probe> SecureMemoryController<P> {
             .verify_leaf(region as usize, &bytes)
             .expect("counter-block integrity violation");
         self.stats.merkle_fetches += walk.nodes_fetched;
+        self.heat_merkle_touches(region);
         if P::ENABLED && walk.nodes_fetched > 0 {
             self.probe.emit(Event {
                 cycle: now,
@@ -465,6 +508,7 @@ impl<P: Probe> SecureMemoryController<P> {
             self.dp_log.push(DataPlaneOp::Leaf { region, bytes });
         }
         self.stats.merkle_fetches += walk.nodes_fetched;
+        self.heat_merkle_touches(region);
         if P::ENABLED && walk.nodes_fetched > 0 {
             self.probe.emit(Event {
                 cycle: now,
@@ -602,6 +646,9 @@ impl<P: Probe> SecureMemoryController<P> {
 
     fn writeback_mac_line(&mut self, index: u64, macs: &[u64; 8], now: Cycles) {
         self.stats.mac_writebacks += 1;
+        // One MAC line holds 8 tags for 8 consecutive data lines; 8 MAC
+        // lines cover one 64-line data region.
+        self.heat(HeatLane::MacWrite, index / 8);
         let addr = PhysAddr::new(self.layout.mac_base + index * LINE_BYTES as u64);
         let t = self.nvm.write_line(addr, encode_mac_line(macs), now);
         self.seg(now, t, CycleCategory::Mac);
@@ -789,6 +836,7 @@ impl<P: Probe> SecureMemoryController<P> {
         let (data, done, hops) = self.resolve_line_plain(region, block, line, now, t_ctr);
         if hops > 0 {
             self.stats.redirected_reads += 1;
+            self.heat(HeatLane::CowRedirect, region);
             if P::ENABLED {
                 self.probe.emit(Event {
                     cycle: now,
@@ -833,6 +881,7 @@ impl<P: Probe> SecureMemoryController<P> {
             if src.is_some() {
                 self.seg(t_src, t, CycleCategory::ImplicitCopy);
                 self.stats.implicit_copies += 1;
+                self.heat(HeatLane::ImplicitCopy, region);
                 if P::ENABLED {
                     self.probe.emit(Event {
                         cycle: now,
@@ -884,6 +933,7 @@ impl<P: Probe> SecureMemoryController<P> {
         now: Cycles,
     ) -> (CounterBlock, Cycles) {
         self.stats.minor_overflows += 1;
+        self.heat(HeatLane::CounterOverflow, region);
         if P::ENABLED {
             self.probe.emit(Event { cycle: now, kind: EventKind::CounterOverflow { region } });
         }
@@ -1300,6 +1350,11 @@ impl<P: Probe> SecureMemoryController<P> {
         }
         if rebuilt.root() != saved_root {
             return Err(lelantus_crypto::TamperError { leaf: 0, level: usize::MAX });
+        }
+        if self.config.heatmap {
+            // Recovery itself is free of charge (the rebuild above ran
+            // without a touch log); walks after recovery record again.
+            rebuilt = rebuilt.with_touch_log();
         }
         self.merkle = rebuilt;
         self.persisted_root = saved_root;

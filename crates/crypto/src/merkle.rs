@@ -142,6 +142,11 @@ pub struct MerkleTree {
     /// `dirty_leaves` holds the leaves whose ancestor paths are stale.
     deferred: bool,
     dirty_leaves: BTreeSet<usize>,
+    /// When set, every node-cache miss appends the tree level of the
+    /// fetched node line to `touches` (drained by the controller's
+    /// spatial heatmap; see [`Self::with_touch_log`]).
+    record_touches: bool,
+    touches: Vec<u8>,
 }
 
 impl MerkleTree {
@@ -165,6 +170,8 @@ impl MerkleTree {
             tick: 0,
             deferred: false,
             dirty_leaves: BTreeSet::new(),
+            record_touches: false,
+            touches: Vec::new(),
         }
     }
 
@@ -185,6 +192,37 @@ impl MerkleTree {
             levels.push(parents);
         }
         levels
+    }
+
+    /// Enables the per-walk touch log: every node-cache miss (exactly
+    /// the fetches counted in [`WalkStats::nodes_fetched`]) appends the
+    /// tree level of the fetched node line, for the caller to drain
+    /// with [`Self::drain_touches_into`] after each walk. Purely
+    /// host-side bookkeeping — walks, stats and the cache model are
+    /// unaffected.
+    pub fn with_touch_log(mut self) -> Self {
+        self.record_touches = true;
+        self
+    }
+
+    /// Appends the touch-log entries recorded since the last drain to
+    /// `out` and empties the log (capacity is retained, so steady-state
+    /// walks never allocate).
+    pub fn drain_touches_into(&mut self, out: &mut Vec<u8>) {
+        out.append(&mut self.touches);
+    }
+
+    /// The touch-log entries pending since the last drain/discard
+    /// (always empty unless [`Self::with_touch_log`] was applied).
+    pub fn touches(&self) -> &[u8] {
+        &self.touches
+    }
+
+    /// Discards pending touch-log entries (used around walks whose
+    /// traffic is deliberately not charged, e.g. boot-time region
+    /// initialization).
+    pub fn discard_touches(&mut self) {
+        self.touches.clear();
     }
 
     /// Switches the tree to deferred interior-node maintenance (see the
@@ -309,6 +347,9 @@ impl MerkleTree {
             // hashing above.
             if !self.cache_hit(level + 1, parent) {
                 stats.nodes_fetched += 1;
+                if self.record_touches {
+                    self.touches.push((level + 1).min(u8::MAX as usize) as u8);
+                }
             }
             self.cache_touch(level + 1, parent);
             stats.nodes_written += 1;
@@ -384,6 +425,9 @@ impl MerkleTree {
             // Fetch the 7 siblings (one metadata line) to recompute the
             // parent digest.
             stats.nodes_fetched += 1;
+            if self.record_touches {
+                self.touches.push(level.min(u8::MAX as usize) as u8);
+            }
             let recomputed = self.hasher.node(Self::sibling_group(&self.levels[level], parent));
             if recomputed != self.levels[level + 1][parent] {
                 return Err(TamperError { leaf, level: level + 1 });
@@ -630,6 +674,39 @@ mod tests {
         t.update_leaf(10, b"more");
         t.flush();
         assert_ne!(t.root(), r);
+    }
+
+    #[test]
+    fn touch_log_matches_nodes_fetched_and_never_perturbs() {
+        let mut plain = MerkleTree::new(4096, (7, 8), 8);
+        let mut logged = MerkleTree::new(4096, (7, 8), 8).with_touch_log();
+        let mut touches = Vec::new();
+        let depth = 5u8; // 4096 leaves = 5 levels
+        for (i, leaf) in [5usize, 13, 5, 4090, 77, 78, 79, 80, 5, 1024].into_iter().enumerate() {
+            let data = [i as u8; 17];
+            let (pu, lu) = (plain.update_leaf(leaf, &data), logged.update_leaf(leaf, &data));
+            assert_eq!(pu, lu, "touch log perturbed an update walk");
+            let before = touches.len();
+            logged.drain_touches_into(&mut touches);
+            assert_eq!((touches.len() - before) as u64, lu.nodes_fetched);
+            let (pv, lv) =
+                (plain.verify_leaf(leaf, &data).unwrap(), logged.verify_leaf(leaf, &data).unwrap());
+            assert_eq!(pv, lv, "touch log perturbed a verify walk");
+            let before = touches.len();
+            logged.drain_touches_into(&mut touches);
+            assert_eq!((touches.len() - before) as u64, lv.nodes_fetched);
+        }
+        assert!(touches.iter().all(|&l| l < depth), "touch levels must lie inside the tree");
+        assert!(!touches.is_empty());
+        // An untouched-log tree records nothing, and discard empties.
+        plain.update_leaf(0, b"x");
+        let mut none = Vec::new();
+        plain.drain_touches_into(&mut none);
+        assert!(none.is_empty());
+        logged.update_leaf(4000, b"y");
+        logged.discard_touches();
+        logged.drain_touches_into(&mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct NvmConfig {
     /// bank service and queue stalls (off by default; enable through
     /// `SimConfig::with_cycle_ledger` so the system layer drains them).
     pub cycle_ledger: bool,
+    /// Record a spatial [`HeatGrid`](lelantus_obs::HeatGrid) of bank
+    /// array accesses per 4 KB region (off by default; enable through
+    /// `SimConfig::with_heatmap` so the system layer merges it).
+    pub heatmap: bool,
 }
 
 impl Default for NvmConfig {
@@ -73,6 +77,7 @@ impl Default for NvmConfig {
             read_energy_pj: 1_000,
             write_energy_pj: 12_000,
             cycle_ledger: false,
+            heatmap: false,
         }
     }
 }

@@ -7,8 +7,10 @@ use crate::stats::NvmStats;
 use crate::store::LineStore;
 use crate::wear::WearTracker;
 use crate::write_queue::WriteQueue;
-use lelantus_obs::{CycleCategory, Event, EventKind, HistKind, NullProbe, Probe, Segment};
-use lelantus_types::{Cycles, PhysAddr, LINE_BYTES};
+use lelantus_obs::{
+    CycleCategory, Event, EventKind, HeatGrid, HeatLane, HistKind, NullProbe, Probe, Segment,
+};
+use lelantus_types::{Cycles, PhysAddr, LINE_BYTES, REGION_BYTES};
 
 /// The simulated non-volatile memory device.
 ///
@@ -44,6 +46,9 @@ pub struct NvmDevice<P: Probe = NullProbe> {
     /// Cycle-attribution segments recorded while servicing requests
     /// (only when `config.cycle_ledger`; drained by the controller).
     segments: Vec<Segment>,
+    /// Spatial heat of bank array accesses per 4 KB region (only when
+    /// `config.heatmap`; merged by the system layer).
+    heat: Option<Box<HeatGrid>>,
 }
 
 impl NvmDevice {
@@ -76,6 +81,7 @@ impl<P: Probe> NvmDevice<P> {
             .map(|sg| StartGap::new(config.capacity_bytes / LINE_BYTES as u64, sg));
         Self {
             bus_busy: vec![Cycles::ZERO; config.ranks],
+            heat: config.heatmap.then(Box::<HeatGrid>::default),
             config,
             banks,
             write_queue,
@@ -86,6 +92,23 @@ impl<P: Probe> NvmDevice<P> {
             probe,
             segments: Vec::new(),
         }
+    }
+
+    /// Records one bank array access into the heat grid (no-op when
+    /// the heatmap is off). Attribution is by the *logical* address the
+    /// stack requested — the same space the metadata layout carves up —
+    /// so metadata areas light up at their layout offsets regardless of
+    /// wear leveling.
+    #[inline]
+    fn heat(&mut self, lane: HeatLane, addr: PhysAddr) {
+        if let Some(h) = self.heat.as_mut() {
+            h.record(lane, addr.as_u64() / REGION_BYTES);
+        }
+    }
+
+    /// The bank-access heat grid recorded so far (None when off).
+    pub fn heatmap(&self) -> Option<&HeatGrid> {
+        self.heat.as_deref()
     }
 
     /// Records a cycle-attribution segment when the ledger is enabled.
@@ -138,6 +161,10 @@ impl<P: Probe> NvmDevice<P> {
             self.array_access_device(to_addr, now, true);
             self.stats.line_reads += 1;
             self.stats.line_writes += 1;
+            // Relocations have no logical requester; attribute them to
+            // the device slots being moved.
+            self.heat(HeatLane::BankRead, from_addr);
+            self.heat(HeatLane::BankWrite, to_addr);
             self.wear.record_line_write(to_addr);
         }
     }
@@ -227,6 +254,7 @@ impl<P: Probe> NvmDevice<P> {
             return (data, now + Cycles::new(1));
         }
         self.stats.line_reads += 1;
+        self.heat(HeatLane::BankRead, line);
         let done = self.array_access(line, now, false);
         self.seg(now, done, CycleCategory::BankService);
         let device = self.map_addr(line);
@@ -269,6 +297,7 @@ impl<P: Probe> NvmDevice<P> {
                 let device = self.map_addr(drained.addr);
                 let done = self.array_access(drained.addr, drained.enqueued_at, true);
                 self.stats.line_writes += 1;
+                self.heat(HeatLane::BankWrite, drained.addr);
                 self.wear.record_line_write(device);
                 if P::ENABLED {
                     let depth = self.write_queue.len();
@@ -318,6 +347,7 @@ impl<P: Probe> NvmDevice<P> {
         let done = self.array_access(line, now, true);
         self.seg(now, done, CycleCategory::BankService);
         self.stats.line_writes += 1;
+        self.heat(HeatLane::BankWrite, line);
         self.wear.record_line_write(device);
         done
     }
@@ -335,6 +365,7 @@ impl<P: Probe> NvmDevice<P> {
             // issue time is attributable wait at the barrier.
             self.seg(now, t, CycleCategory::BankService);
             self.stats.line_writes += 1;
+            self.heat(HeatLane::BankWrite, w.addr);
             self.wear.record_line_write(device);
             if P::ENABLED {
                 remaining -= 1;
@@ -527,7 +558,7 @@ mod leveling_tests {
         let run = |leveling: bool| {
             let mut d = NvmDevice::new(NvmConfig {
                 capacity_bytes: 16 << 10, // 256 lines
-                wear_leveling: leveling.then(|| StartGapConfig { gap_write_interval: 1 }),
+                wear_leveling: leveling.then_some(StartGapConfig { gap_write_interval: 1 }),
                 write_queue_capacity: 4,
                 ..NvmConfig::default()
             });

@@ -33,6 +33,10 @@
 //! * [`chrome_trace`] — renders captured events and counter series as
 //!   a chrome://tracing / Perfetto-compatible JSON document
 //!   ([`chrome_trace_with_spans`] adds per-category duration lanes).
+//! * [`HeatGrid`]/[`HeatLane`] — the *spatial* axis: region-granular
+//!   heat lanes (faults by action, CoW redirects, counter/Merkle/MAC
+//!   metadata traffic, bank array accesses) whose lane totals
+//!   reconcile exactly with the aggregate counters (see [`heatmap`]).
 //! * [`CycleLedger`]/[`CycleCategory`] — the cycle-attribution ledger:
 //!   charges every simulated cycle to exactly one component category
 //!   so `lelantus profile` can reproduce the paper's overhead
@@ -57,6 +61,7 @@
 
 pub mod event;
 pub mod hdr;
+pub mod heatmap;
 pub mod hist;
 pub mod ledger;
 pub mod probe;
@@ -66,6 +71,7 @@ pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use hdr::{HdrHistogram, TailSummary};
+pub use heatmap::{HeatGrid, HeatLane};
 pub use hist::{HistKind, Histogram, HistogramSet};
 pub use ledger::{attribute, CycleCategory, CycleLedger, Segment};
 pub use probe::{JsonlProbe, NullProbe, Probe, RingProbe, TeeProbe};

@@ -75,6 +75,14 @@ pub struct SimConfig {
     pub tail_recorder: bool,
     /// Worst-offender spans the tail recorder retains (default 16).
     pub tail_top_k: usize,
+    /// Records the spatial heat grid (`System::heatmap`): per-4 KB-
+    /// region lanes for faults by action, CoW redirects, implicit
+    /// copies, counter fills/overflows, Merkle walk touches per tree
+    /// level, MAC writebacks and bank array accesses. Purely
+    /// observational — a recording run is bit-identical to a disabled
+    /// one. Set via [`SimConfig::with_heatmap`], which also enables
+    /// recording in the controller and device.
+    pub heatmap: bool,
 }
 
 /// Maps the kernel-side strategy onto the controller-side scheme.
@@ -108,6 +116,7 @@ impl SimConfig {
             parallel_horizon: 4096,
             tail_recorder: false,
             tail_top_k: 16,
+            heatmap: false,
         }
     }
 
@@ -145,6 +154,15 @@ impl SimConfig {
     /// Sets the tail recorder's worst-offender reservoir capacity.
     pub fn with_tail_top_k(mut self, top_k: usize) -> Self {
         self.tail_top_k = top_k;
+        self
+    }
+
+    /// Enables the spatial heat grid across the whole stack (system
+    /// fault lanes plus controller metadata and device bank lanes).
+    pub fn with_heatmap(mut self) -> Self {
+        self.heatmap = true;
+        self.controller.heatmap = true;
+        self.controller.nvm.heatmap = true;
         self
     }
 
@@ -243,6 +261,11 @@ impl SimConfig {
             // runs; a partial enable would leak or starve them.
             return Err("cycle_ledger must be enabled via with_cycle_ledger (all layers)".into());
         }
+        if self.heatmap != self.controller.heatmap || self.heatmap != self.controller.nvm.heatmap {
+            // Layer grids are only merged when the system-level heatmap
+            // runs; a partial enable would record grids nobody reads.
+            return Err("heatmap must be enabled via with_heatmap (all layers)".into());
+        }
         if (self.parallel_workers > 0) != self.controller.defer_data_plane {
             // The data-plane log is only drained by the parallel
             // engine; a partial enable would grow it unboundedly (or
@@ -322,6 +345,19 @@ mod tests {
         let mut cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K).with_parallel(2);
         cfg.parallel_horizon = 0;
         assert!(cfg.validate().is_err(), "zero horizon must be rejected");
+    }
+
+    #[test]
+    fn heatmap_must_enable_all_layers() {
+        let cfg = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K).with_heatmap();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.controller.heatmap && cfg.controller.nvm.heatmap);
+        let mut partial = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K);
+        partial.controller.heatmap = true;
+        assert!(partial.validate().is_err(), "partial enable must be rejected");
+        let mut partial = SimConfig::new(CowStrategy::Lelantus, PageSize::Regular4K);
+        partial.heatmap = true;
+        assert!(partial.validate().is_err(), "partial enable must be rejected");
     }
 
     #[test]

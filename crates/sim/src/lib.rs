@@ -55,7 +55,9 @@ pub use config::SimConfig;
 pub use metrics::{EpochSample, SimMetrics};
 pub use parallel::{ParStats, ParallelEngine, ShardReport};
 pub use record::TraceRecorder;
-pub use replay::{replay, replay_checked, ReplayError, ReplayStats};
+pub use replay::{
+    explain_divergence, replay, replay_checked, DivergenceReport, ReplayError, ReplayStats,
+};
 pub use shard::{ShardSet, ShardState, ShardStats};
 pub use system::{Snapshot, System};
 
@@ -68,6 +70,7 @@ pub use lelantus_trace::{Trace, TraceError, TraceHeader, TraceTotals};
 // directly.
 pub use lelantus_obs::{
     chrome_trace, chrome_trace_with_spans, selfprof, CounterSeries, CycleCategory, CycleLedger,
-    Event, EventKind, FaultAction, FaultSpan, HdrHistogram, HistKind, Histogram, HistogramSet,
-    JsonlProbe, NullProbe, Probe, RingProbe, Span, TailRecorder, TailSummary, TeeProbe,
+    Event, EventKind, FaultAction, FaultSpan, HdrHistogram, HeatGrid, HeatLane, HistKind,
+    Histogram, HistogramSet, JsonlProbe, NullProbe, Probe, RingProbe, Span, TailRecorder,
+    TailSummary, TeeProbe,
 };

@@ -6,7 +6,7 @@ use lelantus_core::ControllerStats;
 use lelantus_metadata::counter_cache::CounterCacheStats;
 use lelantus_metadata::cow_meta::CowCacheStats;
 use lelantus_nvm::NvmStats;
-use lelantus_obs::{CycleLedger, HistogramSet, TailSummary};
+use lelantus_obs::{CycleLedger, HeatGrid, HistogramSet, TailSummary};
 use lelantus_os::kernel::KernelStats;
 use lelantus_types::Cycles;
 
@@ -93,6 +93,10 @@ pub struct EpochSample {
     /// Tail-latency percentile summary of the fault spans recorded in
     /// this epoch (all zero unless `SimConfig::with_tail_recorder`).
     pub tail: TailSummary,
+    /// Spatial heat accrued in this epoch across every lane (`None`
+    /// unless `SimConfig::with_heatmap`). The per-epoch grids sum
+    /// cell-for-cell to the run's merged grid.
+    pub heat: Option<Box<HeatGrid>>,
 }
 
 #[cfg(test)]

@@ -20,11 +20,11 @@
 
 use crate::batch::{BatchOp, OpKind};
 use crate::system::System;
-use lelantus_obs::Probe;
+use lelantus_obs::{HeatLane, Probe};
 use lelantus_os::OsError;
 use lelantus_trace::reader::Record;
 use lelantus_trace::{Trace, TraceError, TraceOpKind};
-use lelantus_types::VirtAddr;
+use lelantus_types::{VirtAddr, REGION_BYTES};
 use std::fmt;
 
 /// What a replayed trace did, for reports and throughput accounting.
@@ -110,6 +110,219 @@ impl From<TraceError> for ReplayError {
 impl From<OsError> for ReplayError {
     fn from(e: OsError) -> Self {
         Self::Os(e)
+    }
+}
+
+/// Records kept in a [`DivergenceReport`]'s recent-operation window.
+const RECENT_K: usize = 16;
+
+/// Spatial context for a replay divergence: *where* the replaying
+/// machine was when it left the recorded trajectory, not just which
+/// record disagreed. Built post-hoc by [`explain_divergence`] — the
+/// replay hot path is untouched — and rendered by `Display` as the
+/// dump the CLI prints when `replay --check` fails.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Zero-based index of the record that disagreed.
+    pub record: u64,
+    /// What was compared (`"mmap base"`, `"merkle root"`, ...).
+    pub what: &'static str,
+    /// The value the recorded run observed.
+    pub expected: u64,
+    /// The value this replay produced.
+    pub got: u64,
+    /// Focus region: the 4 KB region of the *replayed* value when the
+    /// comparison is an address (`None` for pid/core/root mismatches,
+    /// which have no spatial anchor).
+    pub region: Option<u64>,
+    /// Nonzero heat lanes at the focus region as `(lane name, count)`
+    /// — empty when the heatmap is off or the region is cold.
+    pub region_heat: Vec<(&'static str, u64)>,
+    /// Heat totals of the regions around the focus (`±2` window,
+    /// nonzero only) as `(region, total)`.
+    pub neighbors: Vec<(u64, u64)>,
+    /// The run's hottest regions overall as `(region, total)` —
+    /// spatial context even when the divergence has no address.
+    pub hottest: Vec<(u64, u64)>,
+    /// The last [`RECENT_K`] records executed up to and including the
+    /// diverging one, oldest first: `(record index, description,
+    /// touches the focus region)`.
+    pub recent: Vec<(u64, String, bool)>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replay diverged at record {}: {} expected {:#x}, got {:#x}",
+            self.record, self.what, self.expected, self.got
+        )?;
+        match self.region {
+            Some(r) => {
+                writeln!(f, "  focus region {r} (replayed value, 4 KB granularity)")?;
+                if self.region_heat.is_empty() {
+                    writeln!(f, "  heat at focus: none recorded (cold region or heatmap off)")?;
+                } else {
+                    write!(f, "  heat at focus:")?;
+                    for (lane, count) in &self.region_heat {
+                        write!(f, " {lane}={count}")?;
+                    }
+                    writeln!(f)?;
+                }
+                if !self.neighbors.is_empty() {
+                    write!(f, "  neighbor heat:")?;
+                    for (region, total) in &self.neighbors {
+                        write!(f, " {region}={total}")?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+            None => writeln!(f, "  no spatial anchor for this comparison")?,
+        }
+        if !self.hottest.is_empty() {
+            write!(f, "  hottest regions:")?;
+            for (region, total) in &self.hottest {
+                write!(f, " {region}={total}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  last {} records (* touches focus):", self.recent.len())?;
+        for (idx, desc, touches) in &self.recent {
+            writeln!(f, "    {idx:>6}: {desc}{}", if *touches { " *" } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the spatial context report for a [`ReplayError::Divergence`]
+/// returned by [`replay`] or [`replay_checked`] against the same
+/// `sys`/`trace` pair. Returns `None` for every other error kind.
+///
+/// This is a cold-path post-mortem: it re-scans the trace up to the
+/// diverging record for the recent-operation window and reads the
+/// system's merged heat grid (empty lanes when the run was not built
+/// with `SimConfig::with_heatmap`). Nothing here runs during a
+/// successful replay, so the replay fast path is unperturbed.
+pub fn explain_divergence<P: Probe>(
+    sys: &mut System<P>,
+    trace: &Trace,
+    err: &ReplayError,
+) -> Option<DivergenceReport> {
+    let ReplayError::Divergence { record, what, expected, got } = err else {
+        return None;
+    };
+    let (record, what, expected, got) = (*record, *what, *expected, *got);
+    // Only address comparisons have a region; pids, core indices and
+    // Merkle roots are not locations. The *replayed* value anchors the
+    // focus — it is where this machine actually is.
+    let region = (what == "mmap base").then_some(got / REGION_BYTES);
+
+    let grid = sys.heatmap();
+    let mut region_heat = Vec::new();
+    let mut neighbors = Vec::new();
+    let mut hottest = Vec::new();
+    if let Some(grid) = &grid {
+        hottest = grid.top_regions(5);
+        if let Some(r) = region {
+            for lane in HeatLane::ALL {
+                let count = grid.get(lane, r);
+                if count != 0 {
+                    region_heat.push((lane.name(), count as u64));
+                }
+            }
+            for n in r.saturating_sub(2)..=r.saturating_add(2) {
+                let total = grid.region_total(n);
+                if n != r && total != 0 {
+                    neighbors.push((n, total));
+                }
+            }
+        }
+    }
+
+    let mut recent: Vec<(u64, String, bool)> = Vec::new();
+    for (idx, rec) in trace.records().enumerate() {
+        let idx = idx as u64;
+        if idx > record {
+            break;
+        }
+        let Ok(rec) = rec else { break };
+        let (desc, touches) = describe(&rec, region);
+        if recent.len() == RECENT_K {
+            recent.remove(0);
+        }
+        recent.push((idx, desc, touches));
+    }
+
+    Some(DivergenceReport {
+        record,
+        what,
+        expected,
+        got,
+        region,
+        region_heat,
+        neighbors,
+        hottest,
+        recent,
+    })
+}
+
+/// Whether the virtual span `[va, va + len)` overlaps `focus` in
+/// 4 KB-region terms (the recorded addresses are virtual; the focus
+/// anchor is derived from the same space).
+fn touches(focus: Option<u64>, va: u64, len: u64) -> bool {
+    let Some(focus) = focus else { return false };
+    let last = va.saturating_add(len.saturating_sub(1));
+    va / REGION_BYTES <= focus && focus <= last / REGION_BYTES
+}
+
+/// One-line description of a record for the recent-operation window,
+/// plus whether it touched the focus region.
+fn describe(rec: &Record<'_>, focus: Option<u64>) -> (String, bool) {
+    match rec {
+        Record::Batch(b) => {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            let mut touched = false;
+            for op in b.ops() {
+                let Ok(op) = op else { break };
+                lo = lo.min(op.va);
+                hi = hi.max(op.va + u64::from(op.len));
+                touched |= touches(focus, op.va, u64::from(op.len));
+            }
+            if lo > hi {
+                (format!("batch pid={} ops={} (empty)", b.pid, b.nops), false)
+            } else {
+                (format!("batch pid={} ops={} va={lo:#x}..{hi:#x}", b.pid, b.nops), touched)
+            }
+        }
+        Record::SpawnInit { pid } => (format!("spawn_init -> pid {pid}"), false),
+        Record::Mmap { pid, len, page_size, va } => (
+            format!("mmap pid={pid} len={len:#x} page={page_size:?} -> va {va:#x}"),
+            touches(focus, *va, *len),
+        ),
+        Record::Fork { parent, child } => (format!("fork parent={parent} -> child {child}"), false),
+        Record::Exit { pid } => (format!("exit pid={pid}"), false),
+        Record::Munmap { pid, va } => {
+            (format!("munmap pid={pid} va={va:#x}"), touches(focus, *va, 1))
+        }
+        Record::MadviseDontneed { pid, va, len } => (
+            format!("madvise_dontneed pid={pid} va={va:#x} len={len:#x}"),
+            touches(focus, *va, *len),
+        ),
+        Record::Mprotect { pid, va, writable } => {
+            (format!("mprotect pid={pid} va={va:#x} writable={writable}"), touches(focus, *va, 1))
+        }
+        Record::KsmMerge(_) => ("ksm_merge".into(), false),
+        Record::UseCore { core } => (format!("use_core {core}"), false),
+        Record::SyncCores => ("sync_cores".into(), false),
+        Record::Finish => ("finish".into(), false),
+        Record::WriteNt { pid, va, data } => (
+            format!("write_nt pid={pid} va={va:#x} len={:#x}", data.len()),
+            touches(focus, *va, data.len() as u64),
+        ),
+        Record::CrashRecover => ("crash_and_recover".into(), false),
+        Record::ResetFootprint => ("reset_footprint".into(), false),
+        Record::MerkleRoot { root } => (format!("merkle_root -> {root:#x}"), false),
     }
 }
 

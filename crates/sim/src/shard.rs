@@ -35,7 +35,7 @@ use lelantus_crypto::{
 use lelantus_metadata::mac::encode_mac_line;
 use lelantus_metadata::MetadataLayout;
 use lelantus_nvm::LineStore;
-use lelantus_obs::{CycleCategory, CycleLedger, Probe};
+use lelantus_obs::{CycleCategory, CycleLedger, HeatGrid, HeatLane, Probe};
 use lelantus_types::{PhysAddr, LINE_BYTES, REGION_BYTES};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -98,6 +98,10 @@ pub struct ShardState {
     /// Real Merkle leaf digests, keyed by region.
     leaves: HashMap<u64, u64>,
     stats: ShardStats,
+    /// Spatial heat of this shard's data-plane work (`None` unless
+    /// `ControllerConfig::heatmap`). Shards own disjoint region sets,
+    /// so merging the per-shard grids is order-independent.
+    heat: Option<Box<HeatGrid>>,
 }
 
 impl ShardState {
@@ -116,6 +120,7 @@ impl ShardState {
             macs: HashMap::new(),
             leaves: HashMap::new(),
             stats: ShardStats::default(),
+            heat: config.heatmap.then(Box::<HeatGrid>::default),
         }
     }
 
@@ -160,6 +165,9 @@ impl ShardState {
                 self.cipher.insert(*addr, cipher);
                 self.stats.stores += 1;
                 self.stats.mac_tags += 1;
+                if let Some(h) = self.heat.as_mut() {
+                    h.record(HeatLane::DpStore, *addr / REGION_BYTES);
+                }
                 if let Some(src) = src_region {
                     if self.layout.shard_of_region(*src, self.shards) != self.id {
                         self.stats.cross_shard += 1;
@@ -173,6 +181,9 @@ impl ShardState {
             if let DataPlaneOp::Leaf { region, bytes } = op {
                 self.leaves.insert(*region, leaf_digest(MERKLE_KEY, bytes));
                 self.stats.leaf_hashes += 1;
+                if let Some(h) = self.heat.as_mut() {
+                    h.record(HeatLane::DpLeaf, *region);
+                }
             }
         }
         let t3 = Instant::now();
@@ -187,6 +198,12 @@ impl ShardState {
     /// This shard's counters.
     pub fn stats(&self) -> ShardStats {
         self.stats
+    }
+
+    /// This shard's data-plane heat lanes (`None` when the heatmap is
+    /// off).
+    pub fn heatmap(&self) -> Option<&HeatGrid> {
+        self.heat.as_deref()
     }
 
     /// Ciphertext lines resident in this shard's slice.

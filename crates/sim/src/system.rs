@@ -11,12 +11,13 @@ use lelantus_cache::CacheHierarchy;
 use lelantus_core::SecureMemoryController;
 use lelantus_obs::{
     attribute, selfprof, CycleCategory, CycleLedger, Event, EventKind, FaultAction, FaultSpan,
-    HdrHistogram, HistKind, HistogramSet, NullProbe, Probe, Segment, TailRecorder,
+    HdrHistogram, HeatGrid, HeatLane, HistKind, HistogramSet, NullProbe, Probe, Segment,
+    TailRecorder,
 };
 use lelantus_os::kernel::{AccessKind, FaultKind, HwAction, Kernel, ProcessId};
 use lelantus_os::ksm::{merge_pass, KsmCandidate};
 use lelantus_os::OsError;
-use lelantus_types::{Cycles, PageSize, PhysAddr, VirtAddr, LINE_BYTES};
+use lelantus_types::{Cycles, PageSize, PhysAddr, VirtAddr, LINE_BYTES, REGION_BYTES};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -74,6 +75,13 @@ pub struct System<P: Probe = NullProbe> {
     /// one). A shared handle: cloned systems append to the same sink.
     /// Off-cost is one branch per state-changing call.
     rec: Option<TraceRecorder>,
+    /// System-layer heat lanes (the five fault-action lanes; `None`
+    /// unless `SimConfig::with_heatmap`). Controller, device and shard
+    /// lanes live in their own layers and are merged on demand.
+    heat: Option<Box<HeatGrid>>,
+    /// Merged-grid snapshot at the last epoch boundary (for the
+    /// per-epoch heat deltas). Empty when the heatmap is off.
+    epoch_heat_last: HeatGrid,
 }
 
 impl System {
@@ -126,6 +134,8 @@ impl<P: Probe> System<P> {
             seg_scratch: Vec::new(),
             par,
             rec: None,
+            heat: config.heatmap.then(Box::<HeatGrid>::default),
+            epoch_heat_last: HeatGrid::default(),
             config,
         }
     }
@@ -155,6 +165,41 @@ impl<P: Probe> System<P> {
     /// with [`SimConfig::with_tail_recorder`]).
     pub fn tail_recorder(&self) -> Option<&TailRecorder> {
         self.tail.as_ref()
+    }
+
+    /// The merged spatial heat grid — system fault lanes, controller
+    /// metadata lanes, device bank lanes and (on the parallel engine)
+    /// the shard workers' data-plane lanes — or `None` unless the
+    /// system was built with [`SimConfig::with_heatmap`]. Forces a
+    /// parallel barrier first so the shard lanes cover every issued op.
+    pub fn heatmap(&mut self) -> Option<HeatGrid> {
+        if !self.config.heatmap {
+            return None;
+        }
+        self.parallel_sync();
+        Some(self.merged_heat_now())
+    }
+
+    /// The merged grid as of *now*, without forcing a barrier (epoch
+    /// sampling must not move the parallel dispatch points): on the
+    /// parallel engine, ops still buffered in the data-plane log are
+    /// charged to the epoch in which their barrier fires.
+    fn merged_heat_now(&self) -> HeatGrid {
+        let mut grid = self.heat.as_deref().cloned().unwrap_or_default();
+        if let Some(h) = self.ctrl.heatmap() {
+            grid.merge(h);
+        }
+        if let Some(h) = self.ctrl.nvm_heatmap() {
+            grid.merge(h);
+        }
+        if let Some(par) = &self.par {
+            for shard in par.shards() {
+                if let Some(h) = shard.heatmap() {
+                    grid.merge(h);
+                }
+            }
+        }
+        grid
     }
 
     /// The probe this system reports to.
@@ -211,17 +256,22 @@ impl<P: Probe> System<P> {
     fn take_epoch_sample(&mut self, snap: SimMetrics) {
         let hists_now = self.probe_hists();
         let tail_now = self.tail_hist();
+        let heat_now = self.config.heatmap.then(|| self.merged_heat_now());
         self.epoch_samples.push(EpochSample {
             end_cycle: snap.cycles,
             delta: snap.delta_since(&self.epoch_last),
             ledger: self.ledger.delta_since(&self.epoch_ledger_last),
             hists: hists_now.delta_since(&self.epoch_hists_last),
             tail: tail_now.delta_since(&self.epoch_tail_last).summary(),
+            heat: heat_now.as_ref().map(|g| Box::new(g.delta_since(&self.epoch_heat_last))),
         });
         self.epoch_last = snap;
         self.epoch_ledger_last = self.ledger;
         self.epoch_hists_last = hists_now;
         self.epoch_tail_last = tail_now;
+        if let Some(g) = heat_now {
+            self.epoch_heat_last = g;
+        }
     }
 
     /// Selects the core that issues subsequent operations (0..=7).
@@ -690,6 +740,13 @@ impl<P: Probe> System<P> {
                 };
                 self.probe.emit(Event { cycle: end, kind });
                 self.probe.record(HistKind::FaultServiceCycles, (end - fault_start).as_u64());
+            }
+            if let Some(h) = self.heat.as_mut() {
+                let action = classify_fault(fault, &outcome.actions);
+                // `classify_fault` never yields `ImplicitCopy` here
+                // (those spans come from stores), so the index stays
+                // inside the five fault lanes.
+                h.record(HeatLane::FAULTS[action.index()], outcome.pa.as_u64() / REGION_BYTES);
             }
             if let Some(ledger_before) = tail_ledger_before {
                 let end = self.clocks[self.active];
@@ -1171,6 +1228,9 @@ impl<P: Probe> System<P> {
         self.epoch_ledger_last = self.ledger;
         self.epoch_hists_last = self.probe_hists();
         self.epoch_tail_last = self.tail_hist();
+        if self.config.heatmap {
+            self.epoch_heat_last = self.merged_heat_now();
+        }
         if let Some(rec) = &self.rec {
             rec.crash_recover();
         }

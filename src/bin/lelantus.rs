@@ -25,10 +25,10 @@ use lelantus::bench::diff::{diff, parse_results};
 use lelantus::bench::results::{emit, Record};
 use lelantus::os::CowStrategy;
 use lelantus::sim::{
-    chrome_trace, chrome_trace_with_spans, replay, selfprof, CounterSeries, CycleCategory,
-    CycleLedger, EpochSample, EventKind, FaultAction, HistKind, JsonlProbe, NullProbe, Probe,
-    ReplayError, ReplayStats, RingProbe, SimConfig, SimMetrics, Span, System, TailRecorder,
-    TailSummary, TeeProbe, Trace, TraceError, TraceHeader, TraceRecorder,
+    chrome_trace, chrome_trace_with_spans, explain_divergence, replay, selfprof, CounterSeries,
+    CycleCategory, CycleLedger, EpochSample, EventKind, FaultAction, HeatGrid, HeatLane, HistKind,
+    JsonlProbe, NullProbe, Probe, ReplayError, ReplayStats, RingProbe, SimConfig, SimMetrics, Span,
+    System, TailRecorder, TailSummary, TeeProbe, Trace, TraceError, TraceHeader, TraceRecorder,
 };
 use lelantus::types::PageSize;
 use lelantus::workloads::{
@@ -73,7 +73,24 @@ fn usage() -> ExitCode {
                    (fork-storm multi-tenant kernel-plane sweep: every scheme at
                     1024 tenants x 1152-page regions by default; records throughput,
                     fault tails and resident pages into BENCH_RESULTS.json)
+  lelantus heatmap [--pages 4k|2m] [--scale ...] [--small] [--workers <n>] [--top <n>] [--json]
+                   (spatial sweep: forkbench/redis/storm on every scheme with the
+                    region heat grid; hottest regions, Gini and top-1% concentration
+                    recorded into BENCH_RESULTS.json)
+  lelantus convert <in.csv> -o <out.ltr> [--scheme <s>] [--pages 4k|2m] [--arena-mb <n>] [--json]
+                   (convert an external `pid,op,va,len` text trace to a replayable
+                    .ltr file; op is r or w, numbers decimal or 0x-hex, `#` comments)
   lelantus bench-diff <baseline.json> <candidate.json> [--tolerance <frac>] [--json]
+
+subcommands: list, run, record, convert, compare, report, profile, tail, storm,
+             heatmap, bench-diff
+report also takes --heatmap (spatial heat table; --json adds a stable \"heatmap\"
+key, null when off) and --grid <out.pgm|out.csv> (per-lane grid export).
+
+trace exit codes:  10 io, 11 bad magic, 12 bad version, 13 truncated,
+                   14 checksum mismatch, 15 bad header, 16 bad record
+replay exit codes: 17 os error, 18 geometry mismatch, 19 divergence,
+                   20 recovery failure
 
 workloads: {}
 schemes:   {} (default: lelantus)",
@@ -83,6 +100,15 @@ schemes:   {} (default: lelantus)",
     ExitCode::from(2)
 }
 
+/// [`parse_flags`] with the shared failure path: print the error,
+/// print usage, hand back the usage exit code.
+fn parse_or_usage(args: &[String]) -> Result<HashMap<String, String>, ExitCode> {
+    parse_flags(args).map_err(|e| {
+        eprintln!("error: {e}");
+        usage()
+    })
+}
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -90,7 +116,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        if key == "json" || key == "tail" || key == "small" {
+        if key == "json" || key == "tail" || key == "small" || key == "heatmap" {
             flags.insert(key.to_string(), "true".into());
             continue;
         }
@@ -230,16 +256,32 @@ fn open_trace_or_exit(path: &str) -> Trace {
 
 /// One replay of `trace` under `strategy` (geometry from the trace
 /// header), returning final metrics, replay stats, and the ingest
-/// wall-clock seconds. Exits with the per-error code on failure.
-fn replay_one(trace: &Trace, strategy: CowStrategy, path: &str) -> (SimMetrics, ReplayStats, f64) {
+/// wall-clock seconds. Exits with the per-error code on failure; a
+/// divergence additionally prints the spatial context report (with
+/// heat lanes when `heatmap` is on).
+fn replay_one(
+    trace: &Trace,
+    strategy: CowStrategy,
+    path: &str,
+    heatmap: bool,
+) -> (SimMetrics, ReplayStats, f64) {
     let header = trace.header();
-    let cfg = SimConfig::new(strategy, header.page_size).with_phys_bytes(header.phys_bytes);
+    let mut cfg = SimConfig::new(strategy, header.page_size).with_phys_bytes(header.phys_bytes);
+    if heatmap {
+        cfg = cfg.with_heatmap();
+    }
     let mut sys = System::new(cfg);
     let start = std::time::Instant::now();
-    let stats = replay(&mut sys, trace).unwrap_or_else(|e| {
-        eprintln!("error: replaying {path} under {strategy} failed: {e}");
-        std::process::exit(replay_exit_code(&e) as i32);
-    });
+    let stats = match replay(&mut sys, trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: replaying {path} under {strategy} failed: {e}");
+            if let Some(report) = explain_divergence(&mut sys, trace, &e) {
+                eprint!("{report}");
+            }
+            std::process::exit(replay_exit_code(&e) as i32);
+        }
+    };
     let wall = start.elapsed().as_secs_f64();
     (sys.finish(), stats, wall)
 }
@@ -279,7 +321,7 @@ fn trace_run(single: bool, path: &str, flags: &HashMap<String, String>) -> ExitC
             eprintln!("error: bad --scheme");
             return usage();
         };
-        let (m, stats, wall) = replay_one(&trace, strategy, path);
+        let (m, stats, wall) = replay_one(&trace, strategy, path, flags.contains_key("heatmap"));
         if json {
             println!(
                 "{{\"workload\":\"trace\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"metrics\":{},\"trace\":{}}}",
@@ -299,13 +341,13 @@ fn trace_run(single: bool, path: &str, flags: &HashMap<String, String>) -> ExitC
         return ExitCode::SUCCESS;
     }
     // compare: the same trace through every scheme.
-    let (base, base_stats, base_wall) = replay_one(&trace, CowStrategy::Baseline, path);
+    let (base, base_stats, base_wall) = replay_one(&trace, CowStrategy::Baseline, path, false);
     let mut rows = Vec::new();
     for strategy in CowStrategy::all() {
         let m = if strategy == CowStrategy::Baseline {
             base
         } else {
-            replay_one(&trace, strategy, path).0
+            replay_one(&trace, strategy, path, false).0
         };
         rows.push((
             strategy.to_string(),
@@ -366,12 +408,9 @@ fn record_cmd(args: &[String]) -> ExitCode {
             _ => flag_args.push(arg.clone()),
         }
     }
-    let flags = match parse_flags(&flag_args) {
+    let flags = match parse_or_usage(&flag_args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return usage();
-        }
+        Err(code) => return code,
     };
     let Some(wl_name) = wl_name.or_else(|| flags.get("workload").cloned()) else {
         eprintln!("error: record needs a workload (positional or --workload)");
@@ -648,6 +687,95 @@ fn tail_json(tail: Option<&TailRecorder>, epochs: &[EpochSample]) -> String {
     )
 }
 
+/// Renders the merged heat grid (`null` when `--heatmap` is off so the
+/// JSON schema stays stable): extent, concentration summary, nonzero
+/// per-lane totals, and the hottest regions.
+fn heat_json(grid: Option<&HeatGrid>) -> String {
+    let Some(g) = grid else { return "null".into() };
+    let lanes: Vec<String> = HeatLane::ALL
+        .iter()
+        .filter(|&&l| g.lane_total(l) > 0)
+        .map(|&l| format!("\"{}\":{}", l.name(), g.lane_total(l)))
+        .collect();
+    let top: Vec<String> = g
+        .top_regions(10)
+        .iter()
+        .map(|&(r, t)| format!("{{\"region\":{r},\"total\":{t}}}"))
+        .collect();
+    format!(
+        concat!(
+            "{{\"regions\":{},\"touched\":{},\"total\":{},\"gini\":{:.4},",
+            "\"top_share_1pct\":{:.4},\"lanes\":{{{}}},\"top\":[{}]}}"
+        ),
+        g.regions(),
+        g.touched_regions(),
+        g.total(),
+        g.gini(),
+        g.top_share(0.01),
+        lanes.join(","),
+        top.join(","),
+    )
+}
+
+/// Human rendering of the heat grid: the concentration headline plus
+/// the hottest regions with their dominant lanes.
+fn print_heat_text(g: &HeatGrid) {
+    println!();
+    println!(
+        "spatial heat: {} of {} regions touched, gini {:.3}, top-1% regions carry {:.1}%",
+        g.touched_regions(),
+        g.regions(),
+        g.gini(),
+        g.top_share(0.01) * 100.0,
+    );
+    println!("  {:>10} {:>12}  dominant lanes", "region", "heat");
+    for (r, t) in g.top_regions(8) {
+        let mut lanes: Vec<(&str, u32)> = HeatLane::ALL
+            .iter()
+            .map(|&l| (l.name(), g.get(l, r)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        lanes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let dominant =
+            lanes.iter().take(3).map(|(n, c)| format!("{n}={c}")).collect::<Vec<_>>().join(" ");
+        println!("  {r:>10} {t:>12}  {dominant}");
+    }
+}
+
+/// Exports the grid for plotting: a PGM (P2) image with one row per
+/// lane and one column per region when `path` ends in `.pgm`, a sparse
+/// `lane,region,count` CSV otherwise.
+fn write_grid(path: &str, g: &HeatGrid) -> std::io::Result<()> {
+    let regions = g.regions().max(1);
+    if path.ends_with(".pgm") {
+        let max =
+            HeatLane::ALL.iter().flat_map(|&l| g.lane(l).iter().copied()).max().unwrap_or(0).max(1);
+        let mut doc = format!("P2\n{regions} {}\n255\n", HeatLane::COUNT);
+        for lane in HeatLane::ALL {
+            let row = g.lane(lane);
+            let cells: Vec<String> = (0..regions)
+                .map(|i| {
+                    let v = row.get(i).copied().unwrap_or(0);
+                    (u64::from(v) * 255 / u64::from(max)).to_string()
+                })
+                .collect();
+            doc.push_str(&cells.join(" "));
+            doc.push('\n');
+        }
+        std::fs::write(path, doc)
+    } else {
+        let mut doc = String::from("lane,region,count\n");
+        for lane in HeatLane::ALL {
+            for (i, &c) in g.lane(lane).iter().enumerate() {
+                if c > 0 {
+                    doc.push_str(&format!("{},{i},{c}\n", lane.name()));
+                }
+            }
+        }
+        std::fs::write(path, doc)
+    }
+}
+
 /// Human rendering of the tail recorder: per-action percentile table,
 /// worst-offender exemplars, and the per-epoch tail / queue-depth
 /// series.
@@ -802,6 +930,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     };
     let json = flags.contains_key("json");
     let tail_enabled = flags.contains_key("tail");
+    let heatmap_enabled = flags.contains_key("heatmap");
 
     let ring = RingProbe::new(ring_cap);
     let probe = TeeProbe::new(ring.clone(), jsonl.clone());
@@ -817,6 +946,9 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
         // per-category cycle breakdown.
         cfg = cfg.with_tail_recorder().with_cycle_ledger();
     }
+    if heatmap_enabled {
+        cfg = cfg.with_heatmap();
+    }
     let mut sys = System::with_probe(cfg, probe);
     let wl_name = workload.as_ref().map(|w| w.name()).unwrap_or("replay");
     let (run, replay_stats) = match (&workload, &replay_src) {
@@ -829,10 +961,16 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
         }
         (None, Some((path, trace))) => {
             let start = std::time::Instant::now();
-            let stats = replay(&mut sys, trace).unwrap_or_else(|e| {
-                eprintln!("error: replaying {path} failed: {e}");
-                std::process::exit(replay_exit_code(&e) as i32);
-            });
+            let stats = match replay(&mut sys, trace) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: replaying {path} failed: {e}");
+                    if let Some(report) = explain_divergence(&mut sys, trace, &e) {
+                        eprint!("{report}");
+                    }
+                    std::process::exit(replay_exit_code(&e) as i32);
+                }
+            };
             let wall = start.elapsed().as_secs_f64();
             let measured = sys.finish();
             (WorkloadRun { measured, logical_line_writes: stats.ops }, Some((stats, wall)))
@@ -845,9 +983,22 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     let par = sys.parallel_stats();
     let full = sys.metrics();
     let tail = sys.tail_recorder().cloned();
+    let heat = sys.heatmap();
     let counts = ring.counts();
     let hists = ring.histograms();
     let epochs = sys.epochs().to_vec();
+
+    if let Some(path) = flags.get("grid") {
+        match &heat {
+            Some(g) => {
+                if let Err(e) = write_grid(path, g) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("warning: --grid needs --heatmap; no grid written"),
+        }
+    }
 
     if let Some(p) = &jsonl {
         if let Err(e) = p.flush() {
@@ -912,7 +1063,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
                 .map(|((path, trace), (stats, wall))| (path.as_str(), trace, stats, *wall)),
         );
         println!(
-            "{{\"workload\":\"{wl_name}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"trace\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"tail\":{},\"epochs\":[{}]}}",
+            "{{\"workload\":\"{wl_name}\",\"scheme\":\"{strategy}\",\"pages\":\"{pages}\",\"epoch_interval\":{epoch},\"metrics\":{},\"metrics_full\":{},\"parallel\":{},\"trace\":{},\"events\":{{{}}},\"events_total\":{},\"ring_dropped\":{},\"histograms\":{{{}}},\"tail\":{},\"heatmap\":{},\"epochs\":[{}]}}",
             json_metrics(&m),
             json_metrics(&full),
             par_json(par.as_ref()),
@@ -922,6 +1073,7 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
             ring.dropped(),
             hist_body.join(","),
             tail_json(tail.as_ref(), &epochs),
+            heat_json(heat.as_ref()),
             epoch_body.join(","),
         );
         return ExitCode::SUCCESS;
@@ -1024,6 +1176,14 @@ fn report(flags: &HashMap<String, String>) -> ExitCode {
     }
     if let Some(t) = &tail {
         print_tail_text(t, &epochs);
+    }
+    if let Some(g) = &heat {
+        print_heat_text(g);
+    }
+    if let Some(path) = flags.get("grid") {
+        if heat.is_some() {
+            println!("heat grid: {path} (one row per lane, one column per region)");
+        }
     }
     if let Some(p) = &jsonl {
         println!();
@@ -1567,6 +1727,346 @@ fn storm_sweep(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lelantus heatmap`: the spatial sweep — *where* the work lands,
+/// per scheme, on spatially contrasting workloads (forkbench's dense
+/// arena, redis's scattered heap, storm's multi-tenant sprawl) with
+/// the region heat grid on. Concentration summaries (Gini, top-1 %
+/// share, touched extent) are recorded into `BENCH_RESULTS.json` for
+/// bench-diff gating.
+fn heatmap_sweep(flags: &HashMap<String, String>) -> ExitCode {
+    const SPATIAL_WORKLOADS: &[&str] = &["forkbench", "redis", "storm"];
+    let scale = if flags.contains_key("small") {
+        "small"
+    } else {
+        flags.get("scale").map(String::as_str).unwrap_or("medium")
+    };
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let workers: usize = match flags.get("workers").map(String::as_str).unwrap_or("0").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --workers needs a non-negative worker count (0 = serial engine)");
+            return usage();
+        }
+    };
+    let top: usize = match flags.get("top").map(String::as_str).unwrap_or("5").parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("error: --top needs a positive region count");
+            return usage();
+        }
+    };
+    let json = flags.contains_key("json");
+
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
+    if !json {
+        println!("heatmap sweep: {scale} scale, {pages} pages (per-region heat, all lanes)");
+        println!(
+            "  {:<10} {:<16} {:>8} {:>12} {:>7} {:>7}  hottest",
+            "workload", "scheme", "touched", "heat", "gini", "top1%"
+        );
+    }
+    for &wl_name in SPATIAL_WORKLOADS {
+        let mut scheme_rows: Vec<String> = Vec::new();
+        for strategy in CowStrategy::all() {
+            // Storm is always its compact self-scaling instance here —
+            // the sweep wants its spatial *shape* (many small tenant
+            // regions), not the full million-page scale.
+            let storm = Storm::small();
+            let workload: Box<dyn Workload<NullProbe>> = if wl_name == "storm" {
+                Box::new(storm)
+            } else {
+                workload_of(wl_name, scale).expect("spatial workload names are all known")
+            };
+            let mut cfg = SimConfig::new(strategy, pages).with_heatmap();
+            if wl_name == "storm" {
+                cfg = cfg.with_phys_bytes(storm.phys_bytes());
+            }
+            if workers > 0 {
+                cfg = cfg.with_parallel(workers);
+            }
+            let mut sys = System::new(cfg);
+            workload.run(&mut sys).unwrap_or_else(|e| {
+                eprintln!("simulation failed ({wl_name}/{strategy}): {e}");
+                std::process::exit(1);
+            });
+            sys.finish();
+            let g = sys.heatmap().expect("heatmap was enabled for every sweep run");
+            for (metric, value) in [
+                ("heat_gini", g.gini()),
+                ("heat_top1pct", g.top_share(0.01)),
+                ("heat_touched", g.touched_regions() as f64),
+            ] {
+                records.push(Record::with_scheme(
+                    format!("{metric}/{wl_name}"),
+                    strategy.to_string(),
+                    value,
+                    if metric == "heat_touched" { "regions" } else { "ratio" },
+                ));
+            }
+            let hottest = g.top_regions(top);
+            if json {
+                let top_body: Vec<String> = hottest
+                    .iter()
+                    .map(|&(r, t)| format!("{{\"region\":{r},\"total\":{t}}}"))
+                    .collect();
+                scheme_rows.push(format!(
+                    "\"{strategy}\":{{\"touched\":{},\"total\":{},\"gini\":{:.4},\"top_share_1pct\":{:.4},\"top\":[{}]}}",
+                    g.touched_regions(),
+                    g.total(),
+                    g.gini(),
+                    g.top_share(0.01),
+                    top_body.join(","),
+                ));
+            } else {
+                let head = hottest
+                    .iter()
+                    .take(3)
+                    .map(|(r, t)| format!("{r}:{t}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                println!(
+                    "  {:<10} {:<16} {:>8} {:>12} {:>7.3} {:>6.1}%  {head}",
+                    wl_name,
+                    strategy.to_string(),
+                    g.touched_regions(),
+                    g.total(),
+                    g.gini(),
+                    g.top_share(0.01) * 100.0,
+                );
+            }
+        }
+        if json {
+            rows.push(format!("\"{wl_name}\":{{{}}}", scheme_rows.join(",")));
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    if json {
+        println!(
+            "{{\"scale\":\"{scale}\",\"pages\":\"{pages}\",\"wall_clock_s\":{wall:.3},\"workloads\":{{{}}}}}",
+            rows.join(","),
+        );
+    } else {
+        println!("  ({wall:.1}s wall clock; concentration recorded to BENCH_RESULTS.json)");
+    }
+    emit("heatmap", wall, &records);
+    ExitCode::SUCCESS
+}
+
+/// One parsed line of the external text-trace format.
+struct ExtOp {
+    pid: u64,
+    write: bool,
+    va: u64,
+    len: u64,
+}
+
+/// Parses the documented `pid,op,va,len` line format: `op` is `r` or
+/// `w`, numbers are decimal or `0x`-hex, `#` starts a comment, blank
+/// lines are skipped.
+fn parse_ext_line(line: &str) -> Result<Option<ExtOp>, String> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    let [pid, op, va, len] = fields.as_slice() else {
+        return Err("expected 4 fields: pid,op,va,len".into());
+    };
+    let num = |s: &str| -> Result<u64, String> {
+        match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|_| format!("bad number `{s}`"))
+    };
+    let write = match *op {
+        "w" | "W" | "write" => true,
+        "r" | "R" | "read" => false,
+        other => return Err(format!("bad op `{other}` (expected r or w)")),
+    };
+    Ok(Some(ExtOp { pid: num(pid)?, write, va: num(va)?, len: num(len)?.max(1) }))
+}
+
+/// Replays the parsed external ops into the simulator, creating one
+/// simulated process (with a private arena) per foreign pid; the
+/// first foreign pid maps onto `spawn_init`, the rest are forked
+/// from it so the trace exercises the CoW machinery.
+fn convert_ops(
+    sys: &mut System<NullProbe>,
+    ext_ops: &[ExtOp],
+    arena_bytes: u64,
+    procs: &mut HashMap<u64, (u64, u64)>,
+) -> Result<(), lelantus::os::OsError> {
+    // Cap single accesses: foreign traces can carry huge lengths, and
+    // a 1 MiB slice already exercises the full fault/copy path.
+    const MAX_OP_BYTES: u64 = 1 << 20;
+    let init = sys.spawn_init();
+    for (i, op) in ext_ops.iter().enumerate() {
+        let (pid, base) = match procs.get(&op.pid) {
+            Some(&entry) => entry,
+            None => {
+                let pid = if procs.is_empty() { init } else { sys.fork(init)? };
+                let base = sys.mmap(pid, arena_bytes)?.as_u64();
+                procs.insert(op.pid, (pid, base));
+                (pid, base)
+            }
+        };
+        // Fold the foreign address into the arena, clamping the
+        // length so the access stays inside it.
+        let len = op.len.min(MAX_OP_BYTES).min(arena_bytes);
+        let off = (op.va % arena_bytes).min(arena_bytes - len);
+        let va = lelantus::types::VirtAddr::new(base + off);
+        if op.write {
+            sys.write_pattern(pid, va, len as usize, i as u8)?;
+        } else {
+            sys.read_bytes(pid, va, len as usize)?;
+        }
+    }
+    Ok(())
+}
+
+/// `lelantus convert <in.csv> -o <out.ltr>`: converts an external
+/// `pid,op,va,len` text trace into a replayable binary trace. Each
+/// foreign pid gets its own simulated process (the first maps to
+/// `spawn_init`, the rest are forked from it) with one private arena;
+/// foreign addresses fold into the arena modulo its size, preserving
+/// page adjacency and reuse so the replayed heatmap reflects the
+/// source's locality.
+fn convert_cmd(args: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("error: {arg} needs a file path");
+                    return usage();
+                }
+            },
+            a if !a.starts_with('-') && input.is_none() => input = Some(a.to_string()),
+            _ => flag_args.push(arg.clone()),
+        }
+    }
+    let flags = match parse_or_usage(&flag_args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let (Some(input), Some(out)) = (input, out) else {
+        eprintln!("error: convert needs <in.csv> and -o <out.ltr>");
+        return usage();
+    };
+    let Some(pages) = pages_of(flags.get("pages").map(String::as_str).unwrap_or("4k")) else {
+        eprintln!("error: bad --pages");
+        return usage();
+    };
+    let Some(strategy) = scheme_of(flags.get("scheme").map(String::as_str).unwrap_or("lelantus"))
+    else {
+        eprintln!("error: bad --scheme");
+        return usage();
+    };
+    let arena_mb: u64 = match flags.get("arena-mb").map(String::as_str).unwrap_or("16").parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("error: --arena-mb needs a positive size");
+            return usage();
+        }
+    };
+    let arena_bytes = arena_mb << 20;
+    let json = flags.contains_key("json");
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ext_ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        match parse_ext_line(line) {
+            Ok(Some(op)) => ext_ops.push(op),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {input}:{}: {e}", lineno + 1);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ext_ops.is_empty() {
+        eprintln!("error: {input} has no operations");
+        return ExitCode::from(2);
+    }
+
+    let cfg = SimConfig::new(strategy, pages);
+    let header = TraceHeader { page_size: pages, phys_bytes: cfg.kernel.phys_bytes };
+    let rec = match TraceRecorder::create(&out, header) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sys = System::new(cfg);
+    sys.record_into(rec.clone());
+    let start = std::time::Instant::now();
+    // Foreign pid -> (simulated pid, arena base).
+    let mut procs: HashMap<u64, (u64, u64)> = HashMap::new();
+    if let Err(e) = convert_ops(&mut sys, &ext_ops, arena_bytes, &mut procs) {
+        eprintln!("error: converting {input} failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    sys.finish();
+    sys.stop_recording();
+    let totals = match rec.finish() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: writing {out} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    if json {
+        println!(
+            concat!(
+                "{{\"input\":\"{}\",\"out\":\"{}\",\"scheme\":\"{}\",\"pages\":\"{}\",",
+                "\"source_ops\":{},\"processes\":{},\"records\":{},\"ops\":{},",
+                "\"file_bytes\":{},\"wall_clock_s\":{:.3}}}"
+            ),
+            input,
+            out,
+            strategy,
+            pages,
+            ext_ops.len(),
+            procs.len(),
+            totals.records,
+            totals.ops,
+            file_bytes,
+            wall,
+        );
+    } else {
+        println!(
+            "converted {input} -> {out}: {} source ops across {} processes",
+            ext_ops.len(),
+            procs.len()
+        );
+        println!(
+            "  {} records, {} ops, {} bytes, {wall:.2}s",
+            totals.records, totals.ops, file_bytes
+        );
+        println!("  replay with: lelantus run --trace {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -1578,43 +2078,33 @@ fn main() -> ExitCode {
             println!("scales:    small, medium, paper");
             ExitCode::SUCCESS
         }
-        "report" => match parse_flags(&args[1..]) {
+        "report" => match parse_or_usage(&args[1..]) {
             Ok(flags) => report(&flags),
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage()
-            }
+            Err(code) => code,
         },
-        "profile" => match parse_flags(&args[1..]) {
+        "profile" => match parse_or_usage(&args[1..]) {
             Ok(flags) => profile(&flags),
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage()
-            }
+            Err(code) => code,
         },
-        "tail" => match parse_flags(&args[1..]) {
+        "tail" => match parse_or_usage(&args[1..]) {
             Ok(flags) => tail_sweep(&flags),
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage()
-            }
+            Err(code) => code,
         },
-        "storm" => match parse_flags(&args[1..]) {
+        "storm" => match parse_or_usage(&args[1..]) {
             Ok(flags) => storm_sweep(&flags),
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage()
-            }
+            Err(code) => code,
+        },
+        "heatmap" => match parse_or_usage(&args[1..]) {
+            Ok(flags) => heatmap_sweep(&flags),
+            Err(code) => code,
         },
         "bench-diff" => bench_diff(&args[1..]),
         "record" => record_cmd(&args[1..]),
+        "convert" => convert_cmd(&args[1..]),
         "run" | "compare" => {
-            let flags = match parse_flags(&args[1..]) {
+            let flags = match parse_or_usage(&args[1..]) {
                 Ok(f) => f,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return usage();
-                }
+                Err(code) => return code,
             };
             if let Some(path) = flags.get("trace") {
                 return trace_run(command == "run", path, &flags);
